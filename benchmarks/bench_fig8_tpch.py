@@ -1,0 +1,68 @@
+"""Figure 8 — TPC-H data warehousing benchmark (§4.4).
+
+Runs the supported query set over one session on each setup (reduced
+scale) and reports the model's queries-per-hour at SF100.
+"""
+
+import pytest
+
+from repro.perf import model
+from repro.workloads import tpch
+
+from .common import make_setup, paper_vs_model_table, write_report
+
+MINI = tpch.TpchConfig(orders=60)
+SETUPS = ["PostgreSQL", "Citus 0+1", "Citus 4+1", "Citus 8+1"]
+
+
+def build(label):
+    session, distributed = make_setup(label)
+    tpch.create_schema(session, distributed=distributed)
+    tpch.load_data(session, MINI)
+    return session
+
+
+@pytest.mark.parametrize("label", SETUPS)
+def bench_fig8_query_set_functional(benchmark, label):
+    benchmark.group = "fig8-tpch"
+    session = build(label)
+
+    def full_set():
+        return tpch.run_query_set(session)
+
+    results = benchmark.pedantic(full_set, rounds=2, iterations=1)
+    assert set(results) == set(tpch.QUERIES)
+
+
+@pytest.mark.parametrize("name", list(tpch.QUERIES))
+def bench_fig8_per_query_citus(benchmark, name):
+    """Per-query timing on Citus 4+1 (regression tracking per query)."""
+    benchmark.group = "fig8-tpch-queries"
+    session = build("Citus 4+1")
+    benchmark.pedantic(
+        lambda: session.execute(tpch.QUERIES[name]).rows, rounds=2, iterations=1
+    )
+
+
+def bench_fig8_model_report(benchmark):
+    benchmark.group = "fig8-tpch"
+    rows = benchmark.pedantic(model.figure8, rounds=1, iterations=1)
+    text = paper_vs_model_table(
+        "Figure 8: TPC-H scale factor 100 (~135GB) — queries per hour",
+        [
+            "Single PostgreSQL is I/O + single-core bound (tables exceed memory)",
+            "Citus wins through distributed parallelism and memory fit",
+            "Two orders of magnitude speedup on the 8-node cluster",
+        ],
+        rows, "QPH", "queries/h",
+    )
+    text += (
+        "\n\nSupported queries: "
+        + ", ".join(sorted(tpch.QUERIES))
+        + f"\nUnsupported ({len(tpch.UNSUPPORTED_QUERIES)}):"
+    )
+    for name, reason in sorted(tpch.UNSUPPORTED_QUERIES.items()):
+        text += f"\n  {name}: {reason}"
+    write_report("fig8_tpch", text)
+    by = {r.setup: r.value for r in rows}
+    assert by["Citus 8+1"] / by["PostgreSQL"] >= 80

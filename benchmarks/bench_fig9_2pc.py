@@ -1,0 +1,65 @@
+"""Figure 9 — distributed transaction (2PC) overhead benchmark (§4.1.1).
+
+pgbench-style two-update transactions with the same vs. different keys,
+functionally verified (invariant holds, 2PC count matches expectation)
+and modeled at the paper's 250-connection scale.
+"""
+
+import pytest
+
+from repro.perf import model
+from repro.workloads import pgbench
+
+from .common import make_setup, paper_vs_model_table, write_report
+
+MINI = pgbench.PgbenchConfig(rows=60)
+TXNS = 40
+
+
+def run_pgbench(label: str, same_key: bool):
+    session, distributed = make_setup(label)
+    pgbench.create_schema(session, distributed=distributed)
+    pgbench.load_data(session, MINI)
+    session.stats.clear()
+    driver = pgbench.PgbenchDriver(session, MINI, same_key=same_key)
+    driver.run(TXNS)
+    assert pgbench.invariant_sum(session) == 0
+    return session
+
+
+@pytest.mark.parametrize("label", ["Citus 0+1", "Citus 4+1", "Citus 8+1"])
+@pytest.mark.parametrize("same_key", [True, False], ids=["same-key", "diff-keys"])
+def bench_fig9_two_update_txn(benchmark, label, same_key):
+    benchmark.group = "fig9-2pc"
+    session = benchmark.pedantic(
+        run_pgbench, args=(label, same_key), rounds=2, iterations=1
+    )
+    if same_key:
+        assert session.stats.get("citus_2pc_commits", 0) == 0
+    elif label != "Citus 0+1":
+        assert session.stats.get("citus_2pc_commits", 0) > 0
+
+
+def bench_fig9_model_report(benchmark):
+    benchmark.group = "fig9-2pc"
+    rows = benchmark.pedantic(model.figure9, rounds=1, iterations=1)
+    text = paper_vs_model_table(
+        "Figure 9: two-update transactions, same vs different keys — TPS",
+        [
+            "2PC (different keys) incurs a 20-30% throughput penalty",
+            "Both variants scale with the number of worker nodes",
+            "On a single node both keys are always co-located: no penalty",
+        ],
+        rows, "TPS", "txns/s",
+    )
+    pairs = {}
+    for row in rows:
+        name, kind = row.setup.rsplit(" (", 1)
+        pairs.setdefault(name, {})[kind.rstrip(")")] = row.value
+    text += "\n\n2PC penalty by cluster size:"
+    for name, modes in pairs.items():
+        penalty = 1 - modes["different keys"] / modes["same key"]
+        text += f"\n  {name}: {penalty * 100:.1f}%"
+        if name != "Citus 0+1":
+            assert 0.15 <= penalty <= 0.40
+    write_report("fig9_2pc", text)

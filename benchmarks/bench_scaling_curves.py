@@ -1,0 +1,55 @@
+"""Scaling-curve benches: sweep the calibrated model beyond the paper's
+four discrete setups and assert the shape claims as curve properties."""
+
+from repro.perf import sensitivity
+
+from .common import write_report
+
+
+def bench_scaling_curves_report(benchmark):
+    benchmark.group = "scaling-curves"
+
+    def sweep():
+        return {
+            "tpcc": sensitivity.tpcc_scaling(16),
+            "ycsb": sensitivity.ycsb_scaling(16),
+            "tpch": sensitivity.tpch_scaling(16),
+            "two_pc": sensitivity.two_pc_penalty_vs_cross_fraction(8),
+            "memory": sensitivity.memory_fit_crossover(),
+        }
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sections = [
+        sensitivity.ascii_curve(
+            curves["tpcc"], "TPC-C NOPM vs workers (memory-fit jump, then client limit):"
+        ),
+        sensitivity.ascii_curve(
+            curves["ycsb"], "YCSB ops/s vs workers (linear in I/O capacity):"
+        ),
+        sensitivity.ascii_curve(
+            curves["tpch"], "TPC-H QPH vs workers (superlinear until memory fit):"
+        ),
+        sensitivity.ascii_curve(
+            [(f"{f:.1f}", v) for f, v in curves["two_pc"]],
+            "Blended TPS vs fraction of 2PC transactions (workers=8):",
+        ),
+        sensitivity.ascii_curve(
+            curves["memory"],
+            "TPC-C NOPM at 4+1 vs database size GB (the memory cliff):",
+        ),
+    ]
+    write_report("scaling_curves", "\n\n".join(sections))
+
+    # Shape assertions:
+    tpcc = {p.workers: p.value for p in curves["tpcc"]}
+    # The memory-fit jump: going from 1 to 4 workers gains far more than 4x.
+    assert tpcc[4] / tpcc[1] > 6
+    ycsb = {p.workers: p.value for p in curves["ycsb"]}
+    # Near-linear while I/O bound:
+    assert 1.8 <= ycsb[8] / ycsb[4] <= 2.2
+    # 2PC blend decreases monotonically with cross-shard fraction.
+    values = [v for _f, v in curves["two_pc"]]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    # Memory cliff: NOPM at 25GB (fits) far above 400GB (doesn't).
+    memory = curves["memory"]
+    assert memory[0][1] > memory[-1][1] * 2

@@ -1,0 +1,143 @@
+"""Table 2 — the workload-pattern / capability matrix.
+
+A functional probe per capability: each cell the paper marks "Yes" is
+exercised through the public API, and the resulting matrix is written to
+benchmarks/results/table2_capabilities.txt. This is the "feature probe"
+reproduction of Table 2 (Tables 1 and 3 are requirement statements, not
+experiments; they are restated in EXPERIMENTS.md).
+"""
+
+from repro import make_cluster
+
+from .common import write_report
+
+CAPABILITIES = [
+    "Distributed tables",
+    "Co-located distributed tables",
+    "Reference tables",
+    "Local tables",
+    "Distributed transactions",
+    "Distributed schema changes",
+    "Query routing",
+    "Parallel, distributed SELECT",
+    "Parallel, distributed DML",
+    "Co-located distributed joins",
+    "Non-co-located distributed joins",
+    "Columnar storage",
+    "Parallel bulk loading",
+    "Connection scaling",
+]
+
+# The paper's Table 2 (Yes/Some/blank per workload pattern).
+PAPER_MATRIX = {
+    "Distributed tables": ("Yes", "Yes", "Yes", "Yes"),
+    "Co-located distributed tables": ("Yes", "Yes", "Yes", "Yes"),
+    "Reference tables": ("Yes", "Yes", "Yes", "Yes"),
+    "Local tables": ("Some", "Some", "", ""),
+    "Distributed transactions": ("Yes", "Yes", "Yes", "Yes"),
+    "Distributed schema changes": ("Yes", "Yes", "Yes", "Yes"),
+    "Query routing": ("Yes", "Yes", "Yes", ""),
+    "Parallel, distributed SELECT": ("", "Yes", "", "Yes"),
+    "Parallel, distributed DML": ("", "Yes", "", ""),
+    "Co-located distributed joins": ("Yes", "Yes", "", "Yes"),
+    "Non-co-located distributed joins": ("", "", "", "Yes"),
+    "Columnar storage": ("", "Some", "", "Yes"),
+    "Parallel bulk loading": ("", "Yes", "", "Yes"),
+    "Connection scaling": ("", "", "Yes", ""),
+}
+
+
+def probe_all() -> dict:
+    """Exercise every capability; returns {capability: 'OK'/'FAIL: ...'}."""
+    citus = make_cluster(workers=2, shard_count=8)
+    s = citus.coordinator_session()
+    results = {}
+
+    def probe(name, fn):
+        try:
+            fn()
+            results[name] = "OK"
+        except Exception as exc:  # pragma: no cover - report, don't crash
+            results[name] = f"FAIL: {exc}"
+
+    probe("Distributed tables", lambda: (
+        s.execute("CREATE TABLE dt (k int PRIMARY KEY, v int)"),
+        s.execute("SELECT create_distributed_table('dt', 'k')"),
+        s.execute("INSERT INTO dt VALUES (1, 1)"),
+    ))
+    probe("Co-located distributed tables", lambda: (
+        s.execute("CREATE TABLE ct (k int PRIMARY KEY)"),
+        s.execute("SELECT create_distributed_table('ct', 'k', colocate_with := 'dt')"),
+    ))
+    probe("Reference tables", lambda: (
+        s.execute("CREATE TABLE rt (id int PRIMARY KEY, n text)"),
+        s.execute("SELECT create_reference_table('rt')"),
+        s.execute("INSERT INTO rt VALUES (1, 'x')"),
+    ))
+    probe("Local tables", lambda: (
+        s.execute("CREATE TABLE lt (id int PRIMARY KEY)"),
+        s.execute("INSERT INTO lt VALUES (1)"),
+        s.execute("SELECT count(*) FROM lt"),
+    ))
+    probe("Distributed transactions", lambda: (
+        s.execute("BEGIN"),
+        s.execute("UPDATE dt SET v = 2 WHERE k = 1"),
+        s.execute("INSERT INTO dt VALUES (99, 0)"),
+        s.execute("COMMIT"),
+    ))
+    probe("Distributed schema changes", lambda: (
+        s.execute("ALTER TABLE dt ADD COLUMN extra text"),
+        s.execute("CREATE INDEX dt_v_idx ON dt (v)"),
+    ))
+    probe("Query routing", lambda: (
+        _assert_contains(s, "SELECT * FROM dt WHERE k = 1", "Task Count: 1"),
+    ))
+    probe("Parallel, distributed SELECT", lambda: (
+        _assert_contains(s, "SELECT count(*) FROM dt", "Task Count: 8"),
+    ))
+    probe("Parallel, distributed DML", lambda: (
+        _assert_contains(s, "UPDATE dt SET v = v + 1", "Pushdown (DML)"),
+    ))
+    probe("Co-located distributed joins", lambda: (
+        s.execute("SELECT count(*) FROM dt JOIN ct ON dt.k = ct.k"),
+    ))
+    probe("Non-co-located distributed joins", lambda: (
+        s.execute("CREATE TABLE nc (o int PRIMARY KEY, r int)"),
+        s.execute("SELECT create_distributed_table('nc', 'o', colocate_with := 'none')"),
+        s.execute("SELECT count(*) FROM dt JOIN nc ON dt.v = nc.o"),
+    ))
+    probe("Columnar storage", lambda: (
+        s.execute("SELECT alter_table_set_access_method('ct', 'columnar')"),
+    ))
+    probe("Parallel bulk loading", lambda: (
+        s.copy_rows("dt", [[i, i] for i in range(100, 160)], ["k", "v"]),
+    ))
+
+    def connection_scaling():
+        citus.enable_metadata_sync()
+        worker = citus.session_on("worker1")
+        assert worker.execute("SELECT count(*) FROM dt").scalar() > 0
+
+    probe("Connection scaling", connection_scaling)
+    return results
+
+
+def _assert_contains(s, sql, needle):
+    text = "\n".join(r[0] for r in s.execute("EXPLAIN " + sql).rows)
+    assert needle in text, text
+
+
+def bench_table2_capability_matrix(benchmark):
+    benchmark.group = "table2"
+    results = benchmark.pedantic(probe_all, rounds=1, iterations=1)
+    header = f"{'Capability':<34} {'MT':>4} {'RA':>4} {'HC':>4} {'DW':>4}   probe"
+    lines = ["== Table 2: capability matrix (paper cells + functional probe) ==",
+             "", header, "-" * len(header)]
+    for name in CAPABILITIES:
+        mt, ra, hc, dw = PAPER_MATRIX[name]
+        lines.append(
+            f"{name:<34} {mt:>4} {ra:>4} {hc:>4} {dw:>4}   {results[name]}"
+        )
+    text = "\n".join(lines)
+    write_report("table2_capabilities", text)
+    assert all(v == "OK" for v in results.values()), results

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Offline-friendly shim: the environment has no `wheel` package, so PEP 517
+# editable installs fail; `pip install -e . --no-use-pep517` uses this file.
+setup()

@@ -1,0 +1,30 @@
+"""repro: a reproduction of "Citus: Distributed PostgreSQL for
+Data-Intensive Applications" (SIGMOD 2021) as a pure-Python distributed
+SQL engine with a simulated cluster substrate.
+
+Layers:
+
+- :mod:`repro.sql` — SQL lexer / parser / AST / deparser.
+- :mod:`repro.engine` — single-node PostgreSQL-like engine (MVCC heap,
+  B-tree/GIN indexes, WAL, locks, 2PC primitives, extension hooks).
+- :mod:`repro.net` — simulated cluster: clock, network, HA, PgBouncer.
+- :mod:`repro.citus` — the paper's contribution, implemented strictly via
+  the engine's extension hooks.
+- :mod:`repro.perf` — calibrated resource model behind the benchmark
+  figures.
+- :mod:`repro.workloads` — TPC-C, YCSB, TPC-H, GitHub-archive, pgbench.
+"""
+
+__version__ = "1.0.0"
+
+from .citus import CitusCluster, make_cluster
+from .engine import InstanceSpec, PostgresInstance, Session
+
+__all__ = [
+    "make_cluster",
+    "CitusCluster",
+    "PostgresInstance",
+    "Session",
+    "InstanceSpec",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""The Citus layer: distributed PostgreSQL as an extension.
+
+Public API:
+
+- :func:`make_cluster` / :class:`CitusCluster` — build simulated clusters.
+- :func:`install_citus` / :class:`CitusConfig` — per-instance installation.
+- :func:`register_distributed_procedure` — distributed stored procedures.
+- :mod:`repro.citus.rebalancer` — shard rebalancing strategies.
+"""
+
+from .api import CitusCluster, make_cluster
+from .extension import CitusConfig, CitusExtension, install_citus
+from .procedures import register_distributed_procedure
+
+__all__ = [
+    "CitusCluster",
+    "make_cluster",
+    "CitusConfig",
+    "CitusExtension",
+    "install_citus",
+    "register_distributed_procedure",
+]

@@ -1,0 +1,136 @@
+"""High-level convenience API: build Citus clusters in one call.
+
+>>> from repro.citus import make_cluster
+>>> citus = make_cluster(workers=4)
+>>> session = citus.coordinator_session()
+>>> session.execute("CREATE TABLE t (key int PRIMARY KEY, value text)")
+>>> session.execute("SELECT create_distributed_table('t', 'key')")
+
+``make_cluster(0)`` builds the paper's "Citus 0+1" configuration (a single
+server sharding locally); ``workers=n`` adds ``n`` worker nodes.
+"""
+
+from __future__ import annotations
+
+from ..engine import InstanceSpec
+from ..net import Cluster, NetworkSpec
+from .extension import CitusConfig, CitusExtension, install_citus
+
+
+class CitusCluster:
+    """A cluster with the Citus extension installed on every node."""
+
+    def __init__(self, cluster: Cluster, coordinator_name: str = "coordinator",
+                 config: CitusConfig | None = None):
+        self.cluster = cluster
+        self.coordinator_name = coordinator_name
+        self.config = config or CitusConfig()
+        self.extensions: dict[str, CitusExtension] = {}
+
+    @property
+    def coordinator(self):
+        return self.cluster.node(self.coordinator_name)
+
+    @property
+    def coordinator_ext(self) -> CitusExtension:
+        return self.extensions[self.coordinator_name]
+
+    def coordinator_session(self, application_name: str = "app"):
+        return self.coordinator.connect(application_name)
+
+    def worker_names(self) -> list[str]:
+        return [n for n in self.cluster.node_names() if n != self.coordinator_name]
+
+    def session_on(self, node_name: str, application_name: str = "app"):
+        return self.cluster.node(node_name).connect(application_name)
+
+    # --------------------------------------------------------- lifecycle
+
+    def add_worker(self, name: str, spec: InstanceSpec | None = None):
+        instance = self.cluster.add_node(name, spec)
+        self.extensions[name] = install_citus(
+            instance, self.cluster, self.config, is_coordinator=False
+        )
+        session = self.coordinator_session("admin")
+        try:
+            session.execute("SELECT citus_add_node($1)", [name])
+        finally:
+            session.close()
+        return instance
+
+    def enable_metadata_sync(self) -> None:
+        """Every worker becomes able to coordinate (§3.2.1)."""
+        session = self.coordinator_session("admin")
+        try:
+            for name in self.worker_names():
+                session.execute("SELECT start_metadata_sync_to_node($1)", [name])
+        finally:
+            session.close()
+
+    def run_maintenance(self) -> dict:
+        return self.coordinator_ext.run_maintenance()
+
+    def pump(self, rounds: int = 10) -> int:
+        """Drive parked (lock-waiting) statements on every node until no
+        further progress. Returns how many statements progressed."""
+        total = 0
+        for _ in range(rounds):
+            progressed = 0
+            for name in self.cluster.node_names():
+                instance = self.cluster.node(name)
+                if instance.is_up:
+                    progressed += instance.pump()
+            total += progressed
+            if not progressed:
+                break
+        return total
+
+    def restore_to_point(self, name: str) -> None:
+        """Restore every node to the named distributed restore point, then
+        complete in-doubt 2PCs through recovery (§3.9)."""
+        for node_name in self.cluster.node_names():
+            self.cluster.node(node_name).restore_to_point(name)
+        # Metadata caches must be rebuilt from the restored tables.
+        for node_name, ext in self.extensions.items():
+            instance = self.cluster.node(node_name)
+            ext.instance = instance
+            session = instance.connect("restore")
+            try:
+                ext.metadata.create_tables(session)
+                ext.metadata.reload(session)
+            finally:
+                session.close()
+        self.run_maintenance()
+
+
+def make_cluster(workers: int = 4, shard_count: int = 32,
+                 spec: InstanceSpec | None = None,
+                 network_spec: NetworkSpec | None = None,
+                 coordinator_in_metadata: bool | None = None,
+                 max_connections: int = 1000,
+                 config: CitusConfig | None = None) -> CitusCluster:
+    """Create a coordinator + ``workers`` worker nodes, install Citus
+    everywhere, and register the workers.
+
+    ``workers=0`` registers the coordinator itself as the (only) worker —
+    the paper's "Citus 0+1" single-server configuration.
+    """
+    cluster = Cluster(spec=spec, network_spec=network_spec,
+                      max_connections=max_connections)
+    config = config or CitusConfig(shard_count=shard_count)
+    config.shard_count = shard_count
+    citus = CitusCluster(cluster, config=config)
+    coordinator = cluster.add_node(citus.coordinator_name)
+    citus.extensions[citus.coordinator_name] = install_citus(
+        coordinator, cluster, config, is_coordinator=True
+    )
+    if workers == 0:
+        session = coordinator.connect("admin")
+        try:
+            session.execute("SELECT citus_add_node($1)", [citus.coordinator_name])
+        finally:
+            session.close()
+    else:
+        for i in range(workers):
+            citus.add_worker(f"worker{i + 1}")
+    return citus

@@ -1,0 +1,1 @@
+"""Adaptive executor and connection placement."""

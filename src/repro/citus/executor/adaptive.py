@@ -1,0 +1,200 @@
+"""Adaptive executor (§3.6.1).
+
+Runs a distributed plan's tasks over per-worker connection pools with:
+
+- **slow start** — a statement begins with one connection per worker; every
+  10 ms (simulated) the number of connections it may open grows by one, so
+  sub-millisecond index lookups never pay for extra connections while long
+  analytical tasks fan out to full parallelism;
+- **shared connection limit** — a per-worker cap shared by all sessions on
+  this node (``citus.max_shared_pool_size``), tracked in "shared memory"
+  (the extension object);
+- **connection affinity** — within a transaction, the connection that first
+  touched a co-located shard group handles every later task on that group,
+  preserving the visibility of uncommitted writes and locks.
+
+Execution is functionally sequential (single-threaded simulation) but the
+timeline is reconstructed as if parallel: each task's measured cost is
+charged to its connection, and the statement's elapsed time is the maximum
+over connections, which is what the simulated clock advances by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import NodeUnavailable
+from .placement import SessionPools
+
+
+@dataclass
+class ExecutionReport:
+    """Telemetry for one distributed statement (consumed by tests and the
+    performance model)."""
+
+    task_count: int = 0
+    connections_used: int = 0
+    connections_opened: int = 0
+    elapsed: float = 0.0
+    per_node_connections: dict = field(default_factory=dict)
+
+
+class AdaptiveExecutor:
+    def __init__(self, ext):
+        self.ext = ext
+        self.slow_start_interval = ext.config.executor_slow_start_interval_ms / 1000.0
+        self.last_report: ExecutionReport | None = None
+
+    # ------------------------------------------------------------ public
+
+    def execute_tasks(self, session, tasks, is_write: bool = False):
+        """Run tasks, return a list of QueryResults aligned with tasks."""
+        pools = SessionPools.for_session(session, self.ext)
+        report = ExecutionReport(task_count=len(tasks))
+        need_txn_block = is_write and (session.in_transaction or _multi_group(tasks))
+        if session.in_transaction:
+            need_txn_block = True
+
+        results: list = [None] * len(tasks)
+        by_node: dict[str, list[int]] = {}
+        for i, task in enumerate(tasks):
+            by_node.setdefault(task.node, []).append(i)
+
+        node_elapsed = []
+        for node, indexes in by_node.items():
+            elapsed = self._run_node_tasks(
+                session, pools, node, [(i, tasks[i]) for i in indexes], results,
+                need_txn_block, report, is_write,
+            )
+            node_elapsed.append(elapsed)
+        report.elapsed = max(node_elapsed, default=0.0)
+        if self.ext.cluster is not None:
+            self.ext.cluster.clock.advance(report.elapsed)
+        report.connections_used = sum(report.per_node_connections.values())
+        session.stats["citus_tasks"] += len(tasks)
+        session.stats["citus_connections"] += report.connections_opened
+        self.last_report = report
+        if not session.in_transaction and not need_txn_block:
+            # Shard-group affinity only matters within a transaction; drop
+            # it so cached connections don't accumulate stale pins.
+            for conn in pools.all_connections():
+                if not conn.in_txn_block:
+                    conn.accessed_groups.clear()
+        return results
+
+    # ------------------------------------------------------- per node run
+
+    def _run_node_tasks(self, session, pools: SessionPools, node, indexed_tasks,
+                        results, need_txn_block, report, is_write=False) -> float:
+        # Phase 1: tasks with transaction affinity MUST run on the
+        # connection that already touched their shard group.
+        general: list = []
+        assigned: dict[int, list] = {}  # id(conn) -> [(i, task)]
+        for i, task in indexed_tasks:
+            conn = pools.connection_for_group(node, task.shard_group)
+            if conn is not None:
+                assigned.setdefault(id(conn), []).append((conn, i, task))
+            else:
+                general.append((i, task))
+
+        # Phase 2: timeline simulation with slow start for the general pool.
+        existing = pools.idle_connections(node)
+        conns = list(existing)
+        opened_this_statement = 0
+        busy: dict[int, float] = {id(c): 0.0 for c in conns}
+
+        def open_connection(now: float):
+            nonlocal opened_this_statement
+            # The shared pool limit never starves a statement of its first
+            # connection; beyond that, respect the limit strictly.
+            if not self.ext.try_reserve_shared_slot(node, force=not conns):
+                return None
+            try:
+                conn = pools.open_connection(node)
+            except NodeUnavailable:
+                self.ext.release_shared_slot(node)
+                raise
+            conns.append(conn)
+            busy[id(conn)] = now + self.ext.cluster.network.connection_setup_cost()
+            opened_this_statement += 1
+            report.connections_opened += 1
+            return conn
+
+        # Lock waits may only suspend single-task statements (router / fast
+        # path); multi-task statements surface waits as lock timeouts.
+        allow_block = report.task_count == 1
+
+        # Run affinity-assigned tasks first on their own connections.
+        for bundle in assigned.values():
+            for conn, i, task in bundle:
+                start = busy.get(id(conn), 0.0)
+                cost = self._execute_on(session, conn, task, results, i,
+                                        need_txn_block, allow_block, is_write)
+                busy[id(conn)] = start + cost
+                if id(conn) not in [id(c) for c in conns]:
+                    conns.append(conn)
+
+        # General pool with slow start: connections may be opened as
+        # simulated time passes (n grows by 1 every interval).
+        if general and not conns:
+            open_connection(0.0)
+        pending = list(general)
+        while pending:
+            if not conns:
+                raise NodeUnavailable(f"no connection available to {node}")
+            # earliest-free connection
+            conn = min(conns, key=lambda c: busy[id(c)])
+            now = busy[id(conn)]
+            # Slow start: the connection-pool target grows by one every
+            # interval; the pool is increased by min(n, pending) (§3.6.1).
+            allowance = 1 + int(now / self.slow_start_interval)
+            target = min(allowance, len(pending) + sum(1 for c in conns if busy[id(c)] > now))
+            if len(conns) < target:
+                new_conn = open_connection(now)
+                if new_conn is not None:
+                    conn = new_conn
+                    now = busy[id(conn)]
+            i, task = pending.pop(0)
+            cost = self._execute_on(session, conn, task, results, i,
+                                    need_txn_block, allow_block, is_write)
+            busy[id(conn)] = now + cost
+        report.per_node_connections[node] = len(conns)
+        return max(busy.values(), default=0.0)
+
+    def _execute_on(self, session, conn, task, results, i, need_txn_block,
+                    allow_block=False, is_write=False) -> float:
+        if need_txn_block:
+            conn.begin_if_needed()
+            session.remote_txns[id(conn)] = conn
+            if is_write:
+                conn.did_write = True
+            # Tag the worker transaction with the distributed txn id up
+            # front so deadlock detection can merge the lock graphs even
+            # while this statement is still waiting.
+            conn.session.ensure_xid()
+            from ..txn.deadlock import assign_distributed_txn_ids
+
+            assign_distributed_txn_ids(self.ext, session)
+        if task.shard_group is not None:
+            conn.accessed_groups.add(task.shard_group)
+        before = conn.elapsed
+        if task.copy_rows is not None:
+            count = conn.copy_rows(task.copy_table, task.copy_rows, task.copy_columns)
+            from ...engine.executor import QueryResult
+
+            result = QueryResult([], [], command="COPY")
+            result.rowcount = count
+        else:
+            result = conn.execute(task.sql, task.params, allow_block=allow_block)
+        results[i] = result
+        # Per-task simulated cost: network latency accrued plus a CPU term
+        # proportional to rows produced/affected.
+        rows = result.rowcount if result.rowcount else len(result.rows)
+        cpu_cost = rows * self.ext.config.per_row_cpu_cost
+        return (conn.elapsed - before) + cpu_cost
+
+
+def _multi_group(tasks) -> bool:
+    groups = {t.shard_group for t in tasks}
+    nodes = {t.node for t in tasks}
+    return len(groups) > 1 or len(nodes) > 1

@@ -1,0 +1,502 @@
+"""The Citus extension object: hook registration, UDFs, configuration.
+
+``install_citus(instance, cluster)`` is the equivalent of ``CREATE
+EXTENSION citus``: it creates the metadata tables, registers the UDF
+surface (``create_distributed_table`` & co.), and installs the planner
+hook, utility hook, transaction callbacks, and the maintenance background
+worker — the full §3.1 hook inventory. Everything the distributed layer
+does flows through those hooks; the engine knows nothing about Citus.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..engine.catalog import Procedure
+from ..errors import MetadataError, ReproError
+from ..sql import ast as A
+from .ddl import DistributedDDL
+from .executor.adaptive import AdaptiveExecutor
+from .metadata import FIRST_SHARD_ID, MetadataStore
+from .planner.distributed import make_planner_hook
+from .txn.deadlock import detect_distributed_deadlocks
+from .txn.recovery import recover_prepared_transactions
+from .txn.twopc import TransactionCallbacks
+
+
+@dataclass
+class CitusConfig:
+    """The citus.* GUCs this reproduction models."""
+
+    shard_count: int = 32
+    max_shared_pool_size: int = 100  # per worker node, shared across backends
+    executor_slow_start_interval_ms: float = 10.0
+    per_row_cpu_cost: float = 2e-6  # simulated seconds per result row
+    enable_repartition_joins: bool = True
+    deadlock_detection_interval_s: float = 2.0
+    recovery_interval_s: float = 2.0
+
+
+class NamedArgument:
+    """Carrier for ``name := value`` UDF arguments."""
+
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+
+
+def _named_arg(name, value):
+    return NamedArgument(name, value)
+
+
+def split_named_args(args):
+    positional = []
+    named = {}
+    for arg in args:
+        if isinstance(arg, NamedArgument):
+            named[arg.name] = arg.value
+        else:
+            positional.append(arg)
+    return positional, named
+
+
+class CitusExtension:
+    def __init__(self, instance, cluster, config: CitusConfig | None = None,
+                 is_coordinator: bool = True):
+        self.instance = instance
+        self.cluster = cluster
+        self.config = config or CitusConfig()
+        self.is_coordinator = is_coordinator
+        self.metadata = MetadataStore(instance)
+        self.ddl = DistributedDDL(self)
+        self.executor = AdaptiveExecutor(self)
+        self.txn_callbacks = TransactionCallbacks(self)
+        self.stats: Counter = Counter()
+        self.failpoints: dict[str, bool] = {}
+        self._utility_connections: dict[str, object] = {}
+        self._shared_slots: Counter = Counter()  # outgoing conns per worker
+        self._dist_txn_counter = itertools.count(1)
+        self._restore_point_lock = False
+        instance.extensions["citus"] = self
+
+    # ------------------------------------------------------------ helpers
+
+    def all_node_names(self) -> list[str]:
+        nodes = list(self.metadata.cache.nodes)
+        if not nodes:
+            nodes = [self.instance.name]
+        return nodes
+
+    def worker_connection(self, node: str):
+        """A cached utility connection for DDL/maintenance (not the
+        adaptive executor's pools)."""
+        conn = self._utility_connections.get(node)
+        if conn is None or conn.closed or not conn.session.instance.is_up or (
+            self.cluster and conn.session.instance is not self.cluster.nodes.get(node)
+        ):
+            conn = self.cluster.connect(node, application_name="citus_utility")
+            self._utility_connections[node] = conn
+        return conn
+
+    def allocate_shard_ids(self, count: int) -> list[int]:
+        holder = self.cluster if self.cluster is not None else self
+        counter = getattr(holder, "_citus_shard_id_seq", None)
+        if counter is None:
+            counter = itertools.count(FIRST_SHARD_ID)
+            holder._citus_shard_id_seq = counter
+        return [next(counter) for _ in range(count)]
+
+    def next_distributed_txn_id(self) -> int:
+        holder = self.cluster if self.cluster is not None else self
+        counter = getattr(holder, "_citus_dist_txn_seq", None)
+        if counter is None:
+            counter = itertools.count(1)
+            holder._citus_dist_txn_seq = counter
+        return next(counter)
+
+    def try_reserve_shared_slot(self, node: str, force: bool = False) -> bool:
+        if not force and self._shared_slots[node] >= self.config.max_shared_pool_size:
+            self.stats["shared_pool_throttled"] += 1
+            return False
+        self._shared_slots[node] += 1
+        return True
+
+    def release_shared_slot(self, node: str) -> None:
+        if self._shared_slots[node] > 0:
+            self._shared_slots[node] -= 1
+
+    def table_size_estimate(self, table_name: str) -> int:
+        """Total bytes across a Citus table's shards (catalog introspection
+        stands in for citus_table_size())."""
+        dist = self.metadata.cache.get_table(table_name)
+        total = 0
+        for shard in dist.shards:
+            for node in self.metadata.all_placements(shard.shardid):
+                instance = self.cluster.node(node)
+                if instance.catalog.has_table(shard.shard_name):
+                    total += instance.catalog.get_table(shard.shard_name).heap.total_bytes
+        return total
+
+    # ------------------------------------------------------ metadata sync
+
+    def sync_metadata_if_enabled(self, session) -> None:
+        targets = self.metadata.cache.nodes_with_metadata
+        if not targets:
+            return
+        rows = self.metadata.dump_rows(session)
+        for node in targets:
+            if node == self.instance.name:
+                continue
+            self._sync_to(node, rows)
+
+    def start_metadata_sync_to_node(self, session, node: str) -> None:
+        session.execute(
+            "UPDATE pg_dist_node SET hasmetadata = true WHERE nodename = $1", [node]
+        )
+        self.metadata.reload(session)
+        rows = self.metadata.dump_rows(session)
+        self._sync_to(node, rows)
+
+    def _sync_to(self, node: str, rows) -> None:
+        worker = self.cluster.node(node)
+        worker_ext = worker.extensions.get("citus")
+        if worker_ext is None:
+            raise MetadataError(
+                f"node {node!r} does not have the citus extension installed"
+            )
+        worker_session = worker.connect("metadata_sync")
+        try:
+            worker_ext.metadata.load_rows(worker_session, rows)
+            # Shell tables must exist on the worker so it can plan queries
+            # against them (the worker becomes a coordinator, §3.2.1).
+            from .ddl import table_to_create_stmt
+            from ..sql.deparse import deparse
+
+            for table_name in worker_ext.metadata.cache.tables:
+                if worker.catalog.has_table(table_name):
+                    continue
+                shell = self.instance.catalog.get_table(table_name)
+                stmt = table_to_create_stmt(shell)
+                stmt.foreign_keys = []  # enforced at the shard level
+                stmt.if_not_exists = True
+                worker_session._execute_utility(stmt, None, None)
+        finally:
+            worker_session.close()
+
+    # -------------------------------------------------------- maintenance
+
+    def run_maintenance(self) -> dict:
+        """One maintenance-daemon cycle: 2PC recovery + distributed
+        deadlock detection (§3.1's background worker)."""
+        recovered = recover_prepared_transactions(self)
+        cancelled = detect_distributed_deadlocks(self)
+        return {"recovery": recovered, "deadlocks_cancelled": cancelled}
+
+    # ------------------------------------------------------ restore points
+
+    def create_distributed_restore_point(self, name: str) -> None:
+        """§3.9: block 2PC commits, then write the restore point into every
+        node's WAL so all nodes can be restored to a consistent point."""
+        self._restore_point_lock = True
+        try:
+            self.instance.wal.create_restore_point(name)
+            for node in self.all_node_names():
+                if node == self.instance.name:
+                    continue
+                self.cluster.node(node).wal.create_restore_point(name)
+        finally:
+            self._restore_point_lock = False
+
+
+def install_citus(instance, cluster, config: CitusConfig | None = None,
+                  is_coordinator: bool = True) -> CitusExtension:
+    ext = CitusExtension(instance, cluster, config, is_coordinator)
+    session = instance.connect("citus_install")
+    try:
+        ext.metadata.create_tables(session)
+        ext.metadata.reload(session)
+    finally:
+        session.close()
+    _register_udfs(ext)
+    instance.hooks.planner_hooks.append(make_planner_hook(ext))
+    instance.hooks.utility_hooks.append(_make_utility_hook(ext))
+    instance.hooks.pre_commit_callbacks.append(ext.txn_callbacks.pre_commit)
+    instance.hooks.post_commit_callbacks.append(ext.txn_callbacks.post_commit)
+    instance.hooks.abort_callbacks.append(ext.txn_callbacks.abort)
+    instance.register_background_worker(
+        "citus_maintenance", lambda _inst: ext.run_maintenance(),
+        interval=ext.config.deadlock_detection_interval_s,
+    )
+    return ext
+
+
+# --------------------------------------------------------------------- UDFs
+
+
+def _register_udfs(ext: CitusExtension) -> None:
+    catalog = ext.instance.catalog
+    catalog.register_function("_named_arg", lambda _s, n, v: NamedArgument(n, v))
+
+    def require_coordinator():
+        if not ext.is_coordinator:
+            raise MetadataError(
+                "operation is only allowed on the coordinator (connect there for DDL)"
+            )
+
+    def citus_add_node(session, nodename, *args):
+        require_coordinator()
+        ext.metadata.add_node(session, nodename)
+        return nodename
+
+    def create_distributed_table(session, table_name, dist_column, *rest):
+        require_coordinator()
+        positional, named = split_named_args(rest)
+        colocate_with = named.get("colocate_with")
+        shard_count = named.get("shard_count")
+        if positional:
+            colocate_with = positional[0]
+        ext.ddl.create_distributed_table(
+            session, table_name, dist_column,
+            colocate_with=colocate_with,
+            shard_count=int(shard_count) if shard_count else None,
+        )
+        return table_name
+
+    def create_reference_table(session, table_name):
+        require_coordinator()
+        ext.ddl.create_reference_table(session, table_name)
+        return table_name
+
+    def create_range_distributed_table(session, table_name, dist_column, ranges):
+        require_coordinator()
+        ext.ddl.create_range_distributed_table(session, table_name, dist_column, ranges)
+        return table_name
+
+    def undistribute_table(session, table_name):
+        require_coordinator()
+        from .rebalancer import undistribute_table as undo
+
+        undo(ext, session, table_name)
+        return table_name
+
+    def start_metadata_sync(session, nodename):
+        require_coordinator()
+        ext.start_metadata_sync_to_node(session, nodename)
+        return nodename
+
+    def rebalance_table_shards(session, *rest):
+        require_coordinator()
+        from .rebalancer import Rebalancer
+
+        moves = Rebalancer(ext).rebalance(session)
+        return len(moves)
+
+    def citus_move_shard_placement(session, shardid, target_node, *rest):
+        require_coordinator()
+        from .rebalancer import move_shard
+
+        move_shard(ext, session, int(shardid), target_node)
+        return int(shardid)
+
+    def get_shard_id(session, table_name, value):
+        dist = ext.metadata.cache.get_table(table_name)
+        from .ddl import shard_id_for_value
+
+        return shard_id_for_value(dist, value)
+
+    def citus_table_size(session, table_name):
+        return ext.table_size_estimate(table_name)
+
+    def citus_create_restore_point(session, name):
+        require_coordinator()
+        ext.create_distributed_restore_point(name)
+        return name
+
+    def run_command_on_workers(session, sql):
+        results = []
+        for node in ext.all_node_names():
+            try:
+                ext.worker_connection(node).execute(sql)
+                results.append(f"{node}: OK")
+            except ReproError as exc:
+                results.append(f"{node}: ERROR {exc}")
+        return results
+
+    def citus_drain_node(session, nodename):
+        require_coordinator()
+        from .rebalancer import drain_node
+
+        moves = drain_node(ext, session, nodename)
+        return len(moves)
+
+    def isolate_tenant(session, table_name, tenant_value, *rest):
+        require_coordinator()
+        from .isolation import isolate_tenant_to_new_shard
+
+        return isolate_tenant_to_new_shard(ext, session, table_name, tenant_value)
+
+    def citus_shards(session):
+        """Rows of the citus_shards monitoring view, as an array of
+        [table, shardid, shard_name, node, size_bytes] entries."""
+        out = []
+        for table in ext.metadata.cache.tables.values():
+            for shard in table.shards:
+                for node in ext.metadata.all_placements(shard.shardid):
+                    instance = ext.cluster.node(node)
+                    size = 0
+                    if instance.catalog.has_table(shard.shard_name):
+                        size = instance.catalog.get_table(shard.shard_name).heap.total_bytes
+                    out.append([table.name, shard.shardid, shard.shard_name, node, size])
+        return out
+
+    def citus_tables(session):
+        """Rows of the citus_tables monitoring view: [table, citus_table_type,
+        distribution_column, colocation_id, shard_count, size_bytes]."""
+        out = []
+        for table in ext.metadata.cache.tables.values():
+            kind = "reference" if table.is_reference else (
+                "range distributed" if table.method == "r" else "distributed"
+            )
+            out.append([
+                table.name, kind, table.dist_column, table.colocation_id,
+                table.shard_count, ext.table_size_estimate(table.name),
+            ])
+        return out
+
+    def citus_set_config(session, name, value):
+        if not hasattr(ext.config, name):
+            raise MetadataError(f"unknown citus configuration {name!r}")
+        current = getattr(ext.config, name)
+        setattr(ext.config, name, type(current)(value))
+        return value
+
+    def alter_table_set_access_method(session, table_name, method):
+        require_coordinator()
+        from .columnar import set_access_method
+
+        set_access_method(ext, session, table_name, method)
+        return table_name
+
+    registry = {
+        "citus_add_node": citus_add_node,
+        "master_add_node": citus_add_node,
+        "create_distributed_table": create_distributed_table,
+        "create_reference_table": create_reference_table,
+        "create_range_distributed_table": create_range_distributed_table,
+        "undistribute_table": undistribute_table,
+        "start_metadata_sync_to_node": start_metadata_sync,
+        "rebalance_table_shards": rebalance_table_shards,
+        "citus_move_shard_placement": citus_move_shard_placement,
+        "master_move_shard_placement": citus_move_shard_placement,
+        "get_shard_id_for_distribution_column": get_shard_id,
+        "citus_table_size": citus_table_size,
+        "citus_total_relation_size": citus_table_size,
+        "citus_create_restore_point": citus_create_restore_point,
+        "run_command_on_workers": run_command_on_workers,
+        "isolate_tenant_to_new_shard": isolate_tenant,
+        "citus_drain_node": citus_drain_node,
+        "citus_shards": citus_shards,
+        "citus_tables": citus_tables,
+        "citus_set_config": citus_set_config,
+        "alter_table_set_access_method": alter_table_set_access_method,
+    }
+    for name, fn in registry.items():
+        catalog.register_function(name, fn)
+
+
+# ------------------------------------------------------------ utility hook
+
+
+def _make_utility_hook(ext: CitusExtension):
+    from .copy_dist import distribute_rows
+    from .procedures import try_delegate_call
+
+    def utility_hook(session, stmt):
+        cache = ext.metadata.cache
+        if isinstance(stmt, A.Copy) and cache.is_citus_table(stmt.table):
+            return _handle_copy(ext, session, stmt)
+        if isinstance(stmt, A.CreateIndex) and cache.is_citus_table(stmt.table):
+            session.create_index_from_ast(stmt)
+            ext.ddl.propagate_create_index(session, stmt)
+            from ..engine.executor import QueryResult
+
+            return QueryResult([], [], command="CREATE INDEX")
+        if isinstance(stmt, A.DropIndex):
+            # Find the index on a Citus shell table and drop it everywhere.
+            for table_name, dist in cache.tables.items():
+                if not ext.instance.catalog.has_table(table_name):
+                    continue
+                shell = ext.instance.catalog.get_table(table_name)
+                if stmt.name in shell.indexes:
+                    ext.instance.catalog.drop_index(stmt.name)
+                    for shard in dist.shards:
+                        for node in ext.metadata.all_placements(shard.shardid):
+                            suffix = str(shard.shardid)
+                            ext.worker_connection(node).execute(
+                                f"DROP INDEX IF EXISTS {stmt.name}_{suffix}"
+                            )
+                    from ..engine.executor import QueryResult
+
+                    return QueryResult([], [], command="DROP INDEX")
+            return None
+        if isinstance(stmt, A.AlterTable) and cache.is_citus_table(stmt.table):
+            session._alter_table(stmt)
+            ext.ddl.propagate_alter_table(session, stmt)
+            from ..engine.executor import QueryResult
+
+            return QueryResult([], [], command="ALTER TABLE")
+        if isinstance(stmt, A.DropTable):
+            citus_names = [n for n in stmt.names if cache.is_citus_table(n)]
+            if citus_names:
+                from ..engine.executor import QueryResult
+
+                for name in citus_names:
+                    ext.ddl.propagate_drop_table(session, name)
+                for name in stmt.names:
+                    ext.instance.catalog.drop_table(name, if_exists=True)
+                return QueryResult([], [], command="DROP TABLE")
+        if isinstance(stmt, A.TruncateTable):
+            citus_names = [n for n in stmt.names if cache.is_citus_table(n)]
+            if citus_names:
+                from ..engine.executor import QueryResult
+
+                for name in citus_names:
+                    ext.ddl.propagate_truncate(session, name)
+                local = [n for n in stmt.names if n not in citus_names]
+                if local:
+                    session._execute_utility(A.TruncateTable(local), None, None)
+                return QueryResult([], [], command="TRUNCATE")
+        if isinstance(stmt, A.Vacuum) and stmt.table and cache.is_citus_table(stmt.table):
+            from ..engine.executor import QueryResult
+
+            dist = cache.get_table(stmt.table)
+            for shard in dist.shards:
+                for node in ext.metadata.all_placements(shard.shardid):
+                    ext.worker_connection(node).execute(f"VACUUM {shard.shard_name}")
+            return QueryResult([], [], command="VACUUM")
+        if isinstance(stmt, A.CallProcedure):
+            return try_delegate_call(ext, session, stmt)
+        return None
+
+    def _handle_copy(ext, session, stmt):
+        from ..engine.copy import _normalize_rows
+        from ..engine.executor import QueryResult
+
+        if stmt.direction == "to":
+            result = session.execute(f"SELECT * FROM {stmt.table}")
+            result.command = "COPY"
+            return result
+        copy_data = getattr(session, "_pending_copy_data", None)
+        if copy_data is None:
+            from ..errors import DataError
+
+            raise DataError("COPY FROM STDIN requires copy_data")
+        rows = _normalize_rows(copy_data, session, stmt)
+        count = distribute_rows(ext, session, stmt.table, rows, stmt.columns or None)
+        result = QueryResult([], [], command="COPY")
+        result.rowcount = count
+        return result
+
+    return utility_hook

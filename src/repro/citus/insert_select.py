@@ -1,0 +1,181 @@
+"""Distributed INSERT..SELECT (§3.8) — the backbone of real-time rollups.
+
+Three strategies, chosen in this order:
+
+1. **co-located pushdown** — source and destination are co-located and the
+   SELECT is pushdownable per shard with the destination's distribution
+   column produced by the source's: the INSERT..SELECT executes directly
+   on co-located shard pairs, fully in parallel.
+2. **re-partitioning** — no coordinator merge step is needed but the
+   source and destination are not co-located: the distributed SELECT's
+   per-shard results are re-routed by the destination's distribution
+   column and inserted in batches.
+3. **pull to coordinator** — the SELECT requires a merge step on the
+   coordinator: run it as a regular distributed query, then distribute the
+   result like a COPY.
+"""
+
+from __future__ import annotations
+
+from .copy_dist import distribute_rows
+from .planner.distributed import CitusPlan
+from .planner.pushdown import _choose_mode, plan_pushdown_select
+from .planner.tasks import Task, task_sql_for_shard
+from .sharding import analyze_statement
+from ..engine.executor import QueryResult
+from ..errors import UnsupportedDistributedQuery
+from ..sql import ast as A
+
+
+def plan_insert_select(ext, stmt: A.Insert, params):
+    cache = ext.metadata.cache
+    dest = cache.tables.get(stmt.table)
+    if dest is None:
+        # Local destination fed from distributed source: run the select
+        # distributed, insert locally.
+        return CoordinatorInsertSelectPlan(ext, stmt, params, local_dest=True)
+    analysis = analyze_statement(stmt.select, cache, params, ext.instance.catalog)
+    if dest.is_reference:
+        return CoordinatorInsertSelectPlan(ext, stmt, params)
+    strategy = _choose_strategy(ext, stmt, dest, analysis)
+    if strategy == "pushdown":
+        return PushdownInsertSelectPlan(ext, stmt, params, dest, analysis)
+    if strategy == "repartition":
+        return RepartitionInsertSelectPlan(ext, stmt, params, dest)
+    return CoordinatorInsertSelectPlan(ext, stmt, params)
+
+
+def _choose_strategy(ext, stmt: A.Insert, dest, analysis) -> str:
+    select = stmt.select
+    dist_sources = analysis.distributed
+    if not dist_sources:
+        return "coordinator"  # SELECT over reference/local tables
+    if analysis.locals or select.ctes or select.set_ops:
+        return "coordinator"
+    same_colocation = all(
+        o.dist.colocation_id == dest.colocation_id for o in dist_sources
+    )
+    pushable = analysis.all_dist_columns_equal() and not analysis.inner_cross_shard_agg
+    if not pushable:
+        return "coordinator"
+    needs_merge = _choose_mode(select, analysis) == "merge"
+    if needs_merge:
+        return "coordinator"
+    # The destination's distribution column must be fed by the source's
+    # distribution column for per-shard-pair execution.
+    if same_colocation and _dest_key_from_source_key(stmt, dest, analysis):
+        return "pushdown"
+    return "repartition"
+
+
+def _dest_key_from_source_key(stmt: A.Insert, dest, analysis) -> bool:
+    select = stmt.select
+    shell_columns = stmt.columns
+    if not shell_columns:
+        return False
+    try:
+        position = shell_columns.index(dest.dist_column)
+    except ValueError:
+        return False
+    targets = [t for t in select.targets if isinstance(t, A.TargetEntry)]
+    if position >= len(targets):
+        return False
+    expr = targets[position].expr
+    if not isinstance(expr, A.ColumnRef):
+        return False
+    roots = {
+        analysis.equivalence.find(analysis.dist_column_key(o))
+        for o in analysis.distributed
+    }
+    return analysis.equivalence.find(expr.key) in roots
+
+
+class PushdownInsertSelectPlan(CitusPlan):
+    """Strategy 1: INSERT INTO dest_shard SELECT ... FROM src_shard, one
+    task per co-located shard pair, fully parallel."""
+
+    def __init__(self, ext, stmt, params, dest, analysis):
+        super().__init__(ext)
+        self.stmt = stmt
+        self.dest = dest
+
+    def execute(self, session, params):
+        cache = self.ext.metadata.cache
+        tasks = []
+        for index, shard in enumerate(self.dest.shards):
+            node = cache.placement_node(shard.shardid)
+            sql = task_sql_for_shard(self.stmt, cache, index)
+            tasks.append(
+                Task(node, sql, params, shard_group=(self.dest.colocation_id, index),
+                     returns_rows=False)
+            )
+        results = self.ext.executor.execute_tasks(session, tasks, is_write=True)
+        total = sum(r.rowcount for r in results if r is not None)
+        out = QueryResult([], [], command="INSERT")
+        out.rowcount = total
+        self.ext.stats["insert_select_pushdown"] += 1
+        return out
+
+    def explain_lines(self):
+        return self._explain_header(len(self.dest.shards), "Insert..Select (co-located)")
+
+
+class RepartitionInsertSelectPlan(CitusPlan):
+    """Strategy 2: distributed SELECT whose per-shard results are re-routed
+    by the destination's distribution column, without a coordinator merge
+    of the query itself."""
+
+    def __init__(self, ext, stmt, params, dest):
+        super().__init__(ext)
+        self.stmt = stmt
+        self.dest = dest
+
+    def execute(self, session, params):
+        select_result = session._execute_statement(self.stmt.select, params, None)
+        shell = self.ext.instance.catalog.get_table(self.stmt.table)
+        columns = self.stmt.columns or shell.column_names()
+        count = distribute_rows(self.ext, session, self.stmt.table,
+                                select_result.rows, columns)
+        out = QueryResult([], [], command="INSERT")
+        out.rowcount = count
+        self.ext.stats["insert_select_repartition"] += 1
+        return out
+
+    def explain_lines(self):
+        return self._explain_header(len(self.dest.shards), "Insert..Select (repartition)")
+
+
+class CoordinatorInsertSelectPlan(CitusPlan):
+    """Strategy 3: distributed SELECT with merge on the coordinator, then
+    COPY-style distribution into the destination."""
+
+    def __init__(self, ext, stmt, params, local_dest: bool = False):
+        super().__init__(ext)
+        self.stmt = stmt
+        self.local_dest = local_dest
+
+    def execute(self, session, params):
+        select_result = session._execute_statement(self.stmt.select, params, None)
+        self.ext.stats["insert_select_coordinator"] += 1
+        if self.local_dest:
+            insert = A.Insert(
+                table=self.stmt.table,
+                columns=list(self.stmt.columns),
+                rows=[[A.Literal(v) for v in row] for row in select_result.rows],
+            )
+            if not insert.rows:
+                out = QueryResult([], [], command="INSERT")
+                out.rowcount = 0
+                return out
+            return session._execute_local_dml(insert, None)
+        shell = self.ext.instance.catalog.get_table(self.stmt.table)
+        columns = self.stmt.columns or shell.column_names()
+        dist = self.ext.metadata.cache.get_table(self.stmt.table)
+        count = distribute_rows(self.ext, session, self.stmt.table,
+                                select_result.rows, columns)
+        out = QueryResult([], [], command="INSERT")
+        out.rowcount = count
+        return out
+
+    def explain_lines(self):
+        return self._explain_header(1, "Insert..Select (via coordinator)")

@@ -1,0 +1,1 @@
+"""Distributed query planners: fast path, router, pushdown, join order."""

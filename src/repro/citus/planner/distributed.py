@@ -1,0 +1,414 @@
+"""The distributed planner cascade (§3.5) and executable plan objects.
+
+"For each query, Citus iterates over the four planners, from lowest to
+highest overhead. If a particular planner can plan the query, Citus uses
+it": fast path → router → logical pushdown → logical join-order. Plans are
+:class:`CustomScanPlan` objects returned from the planner hook; their
+``execute`` drives the adaptive executor and (for merge plans) the local
+executor for the merge step on the coordinator.
+"""
+
+from __future__ import annotations
+
+from ...engine.datum import cast_value, hash_value
+from ...engine.executor import LocalExecutor, QueryResult
+from ...engine.expr import EvalContext, Row, evaluate
+from ...engine.hooks import CustomScanPlan
+from ...errors import NotNullViolation, UnsupportedDistributedQuery
+from ...sql import ast as A
+from ..sharding import analyze_statement, collect_table_names
+from .fast_path import try_fast_path
+from .pushdown import plan_pushdown_dml, plan_pushdown_select
+from .router import try_router
+from .tasks import Task, rewrite_to_shard, task_sql_for_shard
+
+
+def make_planner_hook(ext):
+    """Build the planner_hook callable for this extension instance."""
+
+    def planner_hook(session, stmt, params):
+        cache = ext.metadata.cache
+        if not cache.tables:
+            return None
+        names = collect_table_names(stmt)
+        if not any(name in cache.tables for name in names):
+            return None
+        ext.stats["distributed_queries"] += 1
+        return plan_statement(ext, session, stmt, params)
+
+    return planner_hook
+
+
+def plan_statement(ext, session, stmt, params) -> CustomScanPlan:
+    cache = ext.metadata.cache
+
+    if isinstance(stmt, A.Insert):
+        if stmt.select is not None:
+            from ..insert_select import plan_insert_select
+
+            return plan_insert_select(ext, stmt, params)
+        dist = cache.tables.get(stmt.table)
+        if dist is not None and dist.is_reference:
+            return ReferenceDMLPlan(ext, stmt, params)
+        if dist is not None:
+            # Fast path for single-row inserts with explicit columns;
+            # the general plan handles multi-row / positional inserts.
+            tasks = try_fast_path(ext, stmt, params)
+            if tasks is not None:
+                ext.stats["fast_path_queries"] += 1
+                return SingleTaskPlan(ext, tasks, "Fast Path Router", is_write=True)
+            return InsertValuesPlan(ext, stmt, params)
+
+    analysis = analyze_statement(stmt, cache, params, ext.instance.catalog)
+
+    # Queries touching only reference tables (optionally with local tables)
+    # run locally against the coordinator's replicas; reference writes fan
+    # out to every replica.
+    if not analysis.distributed:
+        if isinstance(stmt, (A.Update, A.Delete)) and cache.tables.get(
+            getattr(stmt, "table", None)
+        ):
+            return ReferenceDMLPlan(ext, stmt, params)
+        return LocalReferencePlan(ext, stmt, params)
+
+    tasks = try_fast_path(ext, stmt, params)
+    if tasks is not None:
+        ext.stats["fast_path_queries"] += 1
+        return SingleTaskPlan(ext, tasks, "Fast Path Router",
+                              is_write=not isinstance(stmt, A.Select))
+
+    tasks = try_router(ext, stmt, params, analysis)
+    if tasks is not None:
+        ext.stats["router_queries"] += 1
+        return SingleTaskPlan(ext, tasks, "Router",
+                              is_write=not isinstance(stmt, A.Select))
+
+    if isinstance(stmt, A.Select):
+        plan = plan_pushdown_select(ext, stmt, params, analysis)
+        if plan is not None:
+            ext.stats["pushdown_queries"] += 1
+            return MultiTaskSelectPlan(ext, plan)
+        from .join_order import plan_join_order
+
+        jplan = plan_join_order(ext, stmt, params, analysis)
+        if jplan is not None:
+            ext.stats["repartition_queries"] += 1
+            return jplan
+        raise UnsupportedDistributedQuery(
+            "could not produce a distributed plan for this query shape"
+        )
+
+    if isinstance(stmt, (A.Update, A.Delete)):
+        tasks = plan_pushdown_dml(ext, stmt, params, analysis)
+        if tasks is not None:
+            ext.stats["pushdown_queries"] += 1
+            return MultiTaskDMLPlan(ext, tasks)
+    raise UnsupportedDistributedQuery(
+        f"cannot plan {type(stmt).__name__} on distributed tables"
+    )
+
+
+# ---------------------------------------------------------------- plans
+
+
+class CitusPlan(CustomScanPlan):
+    planner_name = "Citus Adaptive"
+
+    def __init__(self, ext):
+        self.ext = ext
+
+    def _explain_header(self, task_count: int, detail: str | None = None) -> list[str]:
+        lines = [f"Custom Scan (Citus Adaptive)"]
+        if detail:
+            lines.append(f"  Planner: {detail}")
+        lines.append(f"  Task Count: {task_count}")
+        return lines
+
+
+class SingleTaskPlan(CitusPlan):
+    """Fast path / router: the entire statement is one task."""
+
+    def __init__(self, ext, tasks, planner_name, is_write=False):
+        super().__init__(ext)
+        self.tasks = tasks
+        self.detail = planner_name
+        self.is_write = is_write
+
+    def execute(self, session, params):
+        results = self.ext.executor.execute_tasks(session, self.tasks,
+                                                  is_write=self.is_write)
+        if self.is_write and session.in_transaction:
+            from ..txn.deadlock import assign_distributed_txn_ids
+
+            assign_distributed_txn_ids(self.ext, session)
+        return results[0]
+
+    def explain_lines(self):
+        lines = self._explain_header(1, self.detail)
+        lines.append(f"  Task: {self.tasks[0].sql}")
+        return lines
+
+
+class MultiTaskDMLPlan(CitusPlan):
+    """Parallel, distributed UPDATE/DELETE."""
+
+    def __init__(self, ext, tasks):
+        super().__init__(ext)
+        self.tasks = tasks
+
+    def execute(self, session, params):
+        results = self.ext.executor.execute_tasks(session, self.tasks, is_write=True)
+        from ..txn.deadlock import assign_distributed_txn_ids
+
+        assign_distributed_txn_ids(self.ext, session)
+        rows = []
+        columns = []
+        total = 0
+        command = "UPDATE"
+        for result in results:
+            if result is None:
+                continue
+            total += result.rowcount
+            command = result.command
+            if result.columns:
+                columns = result.columns
+                rows.extend(result.rows)
+        out = QueryResult(columns, rows, command=command)
+        out.rowcount = total
+        return out
+
+    def explain_lines(self):
+        lines = self._explain_header(len(self.tasks), "Pushdown (DML)")
+        if self.tasks:
+            lines.append(f"  Task: {self.tasks[0].sql}")
+        return lines
+
+
+class MultiTaskSelectPlan(CitusPlan):
+    """Logical pushdown SELECT: concat or two-phase-aggregation merge."""
+
+    def __init__(self, ext, plan):
+        super().__init__(ext)
+        self.plan = plan
+
+    def execute(self, session, params):
+        results = self.ext.executor.execute_tasks(session, self.plan.tasks)
+        all_rows = []
+        columns = None
+        for result in results:
+            if result is None:
+                continue
+            if columns is None:
+                columns = result.columns
+            all_rows.extend(result.rows)
+        columns = columns or []
+        if self.plan.mode == "concat":
+            return self._finish_concat(session, params, columns, all_rows)
+        return self._finish_merge(session, params, all_rows)
+
+    def _finish_concat(self, session, params, columns, rows):
+        plan = self.plan
+        n_appended = plan.n_visible  # count of appended hidden sort columns
+        total_width = len(columns)
+        visible_width = total_width - n_appended
+
+        def resolve(position_spec):
+            kind, index = position_spec
+            if kind == "pos":
+                return index
+            return visible_width + index  # appended columns sit at the end
+
+        if plan.hidden_sort_keys:
+            from ...engine.datum import sort_key as value_sort_key
+            from ...engine.executor import _Reversed
+
+            def key_fn(row):
+                keys = []
+                for position_spec, ascending, nulls_first in plan.hidden_sort_keys:
+                    position = resolve(position_spec)
+                    value = row[position] if position < len(row) else None
+                    nf = nulls_first if nulls_first is not None else not ascending
+                    null_rank = (0 if nf else 1) if value is None else (1 if nf else 0)
+                    vk = value_sort_key(value)
+                    if not ascending:
+                        vk = _Reversed(vk)
+                    keys.append((null_rank, vk))
+                return keys
+
+            rows = sorted(rows, key=key_fn)
+        if n_appended:
+            rows = [row[:visible_width] for row in rows]
+            columns = columns[:visible_width]
+        if plan.distinct:
+            seen = set()
+            deduped = []
+            for row in rows:
+                key = tuple(_hashable(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            rows = deduped
+        ctx = EvalContext(row=Row(), params=params, session=session)
+        if plan.offset is not None:
+            rows = rows[int(evaluate(plan.offset, ctx)):]
+        if plan.limit is not None:
+            limit = evaluate(plan.limit, ctx)
+            if limit is not None:
+                rows = rows[: int(limit)]
+        return QueryResult(columns, rows)
+
+    def _finish_merge(self, session, params, worker_rows):
+        plan = self.plan
+        session.temp_results["citus_intermediate"] = (
+            plan.intermediate_columns, worker_rows,
+        )
+        try:
+            executor = LocalExecutor(session)
+            result = executor.execute_select(plan.master_query, params)
+        finally:
+            session.temp_results.pop("citus_intermediate", None)
+        result.columns = plan.visible_columns
+        return result
+
+    def explain_lines(self):
+        lines = self._explain_header(
+            len(self.plan.tasks),
+            "Pushdown" if self.plan.mode == "concat" else "Pushdown (partial aggregation)",
+        )
+        if self.plan.tasks:
+            lines.append(f"  Task: {self.plan.tasks[0].sql}")
+        if self.plan.mode == "merge":
+            from ...sql.deparse import deparse
+
+            lines.append(f"  Merge Query: {deparse(self.plan.master_query)}")
+        return lines
+
+
+class InsertValuesPlan(CitusPlan):
+    """Multi-row (or positional) INSERT: rows are evaluated on the
+    coordinator (volatile functions like ``random()`` run once, centrally,
+    as in Citus), grouped by target shard, and shipped as one task per
+    shard."""
+
+    def __init__(self, ext, stmt: A.Insert, params):
+        super().__init__(ext)
+        self.stmt = stmt
+        self.params = params
+        self.dist = ext.metadata.cache.get_table(stmt.table)
+
+    def execute(self, session, params):
+        stmt = self.stmt
+        cache = self.ext.metadata.cache
+        shell = self.ext.instance.catalog.get_table(stmt.table)
+        columns = stmt.columns or shell.column_names()
+        try:
+            dist_position = columns.index(self.dist.dist_column)
+        except ValueError:
+            raise NotNullViolation(
+                "cannot perform an INSERT without the distribution column"
+                f" {self.dist.dist_column!r}"
+            ) from None
+        ctx = EvalContext(row=Row(), params=params, session=session)
+        dist_type = shell.column(self.dist.dist_column).type_name
+        by_shard: dict[int, list[list]] = {}
+        for row_exprs in stmt.rows:
+            values = [evaluate(e, ctx) for e in row_exprs]
+            dist_value = cast_value(values[dist_position], dist_type)
+            if dist_value is None:
+                raise NotNullViolation(
+                    f"the distribution column {self.dist.dist_column!r} cannot be NULL"
+                )
+            values[dist_position] = dist_value
+            index = self.dist.shard_index_for_value(dist_value)
+            by_shard.setdefault(index, []).append(values)
+        tasks = []
+        for index, rows in sorted(by_shard.items()):
+            shard = self.dist.shards[index]
+            node = cache.placement_node(shard.shardid)
+            insert = A.Insert(
+                table=shard.shard_name,
+                columns=list(columns),
+                rows=[[A.Literal(v) for v in row] for row in rows],
+                on_conflict=stmt.on_conflict.copy() if stmt.on_conflict else None,
+                returning=[t.copy() for t in stmt.returning],
+            )
+            from ...sql.deparse import deparse
+
+            tasks.append(
+                Task(node, deparse(insert), None,
+                     shard_group=(self.dist.colocation_id, index),
+                     returns_rows=bool(stmt.returning))
+            )
+        results = self.ext.executor.execute_tasks(session, tasks, is_write=True)
+        if session.in_transaction:
+            from ..txn.deadlock import assign_distributed_txn_ids
+
+            assign_distributed_txn_ids(self.ext, session)
+        total = sum(r.rowcount for r in results if r is not None)
+        rows = [row for r in results if r is not None for row in r.rows]
+        cols = next((r.columns for r in results if r is not None and r.columns), [])
+        out = QueryResult(cols, rows, command="INSERT")
+        out.rowcount = total
+        return out
+
+    def explain_lines(self):
+        return self._explain_header(len(self.stmt.rows), "Insert (values)")
+
+
+class ReferenceDMLPlan(CitusPlan):
+    """Writes to a reference table replicate to every placement; reads of
+    the commit protocol treat each replica as a participant (2PC when the
+    table has more than one replica)."""
+
+    def __init__(self, ext, stmt, params):
+        super().__init__(ext)
+        self.stmt = stmt
+        self.params = params
+        table_name = stmt.table
+        self.dist = ext.metadata.cache.get_table(table_name)
+
+    def execute(self, session, params):
+        cache = self.ext.metadata.cache
+        shard = self.dist.shards[0]
+        nodes = self.ext.metadata.all_placements(shard.shardid)
+        sql = task_sql_for_shard(self.stmt, cache, None)
+        tasks = [
+            Task(node, sql, params, shard_group=(self.dist.colocation_id, 0, node),
+                 returns_rows=bool(getattr(self.stmt, "returning", [])))
+            for node in nodes
+        ]
+        results = self.ext.executor.execute_tasks(session, tasks, is_write=True)
+        first = next((r for r in results if r is not None), None)
+        if first is None:
+            return QueryResult([], [], command="INSERT")
+        return first
+
+    def explain_lines(self):
+        shard = self.dist.shards[0]
+        n = len(self.ext.metadata.all_placements(shard.shardid))
+        return self._explain_header(n, "Reference Table DML")
+
+
+class LocalReferencePlan(CitusPlan):
+    """Reads over reference tables (optionally joined with local tables)
+    answered from the local replicas without network traffic."""
+
+    def __init__(self, ext, stmt, params):
+        super().__init__(ext)
+        self.stmt = stmt
+
+    def execute(self, session, params):
+        rewritten = rewrite_to_shard(self.stmt, self.ext.metadata.cache, None)
+        return session._execute_local_dml(rewritten, params)
+
+    def explain_lines(self):
+        lines = self._explain_header(0, "Local (reference replica)")
+        return lines
+
+
+def _hashable(value):
+    if isinstance(value, (dict, list)):
+        from ...engine.datum import to_text
+
+        return to_text(value)
+    return value

@@ -1,0 +1,151 @@
+"""Fast path planner (§3.5).
+
+Handles simple CRUD on a single distributed table with an equality filter
+(or VALUES row) on the distribution column. The planner extracts the
+distribution value directly, picks the shard, rewrites the table name, and
+produces a single task — with deliberately minimal analysis so that
+high-throughput CRUD workloads pay almost no planning overhead.
+"""
+
+from __future__ import annotations
+
+from ...engine.datum import hash_value
+from ...sql import ast as A
+from .tasks import Task, task_sql_for_shard
+
+
+def try_fast_path(ext, stmt, params):
+    """Return a list with one Task, or None if the statement does not
+    qualify for the fast path."""
+    cache = ext.metadata.cache
+    if isinstance(stmt, A.Insert):
+        return _fast_path_insert(ext, stmt, params, cache)
+    if isinstance(stmt, A.Select):
+        if (
+            len(stmt.from_items) != 1
+            or not isinstance(stmt.from_items[0], A.TableRef)
+            or stmt.ctes
+            or stmt.set_ops
+            or stmt.group_by
+        ):
+            return None
+        table_name = stmt.from_items[0].name
+        alias = stmt.from_items[0].ref_name
+        where = stmt.where
+    elif isinstance(stmt, (A.Update, A.Delete)):
+        table_name = stmt.table
+        alias = stmt.alias or stmt.table
+        where = stmt.where
+    else:
+        return None
+
+    dist = cache.tables.get(table_name)
+    if dist is None or dist.is_reference:
+        return None
+    value = _single_dist_value(where, dist, alias, params)
+    if value is _MISS:
+        return None
+    if _contains_subquery(stmt):
+        return None
+    shard_index = dist.shard_index_for_value(value)
+    shard = dist.shards[shard_index]
+    node = cache.placement_node(shard.shardid)
+    sql = task_sql_for_shard(stmt, cache, shard_index)
+    returns = isinstance(stmt, A.Select) or bool(getattr(stmt, "returning", None))
+    return [
+        Task(node, sql, params, shard_group=(dist.colocation_id, shard_index),
+             returns_rows=returns)
+    ]
+
+
+_MISS = object()
+
+
+def _fast_path_insert(ext, stmt: A.Insert, params, cache):
+    dist = cache.tables.get(stmt.table)
+    if dist is None or dist.is_reference:
+        return None
+    if stmt.select is not None or len(stmt.rows) != 1:
+        return None  # INSERT..SELECT and multi-row inserts take other paths
+    value = _insert_dist_value(stmt, dist, params, cache)
+    if value is _MISS:
+        return None
+    shard_index = dist.shard_index_for_value(value)
+    shard = dist.shards[shard_index]
+    node = cache.placement_node(shard.shardid)
+    sql = task_sql_for_shard(stmt, cache, shard_index)
+    return [
+        Task(node, sql, params, shard_group=(dist.colocation_id, shard_index),
+             returns_rows=bool(stmt.returning))
+    ]
+
+
+def _insert_dist_value(stmt: A.Insert, dist, params, cache):
+    from ...errors import NotNullViolation
+
+    columns = stmt.columns
+    if not columns:
+        # Positional insert: resolve against the shell table's column order.
+        columns = None
+    row = stmt.rows[0]
+    if columns is None:
+        return _MISS  # caller resolves positional inserts via the multi-row path
+    try:
+        position = columns.index(dist.dist_column)
+    except ValueError:
+        raise NotNullViolation(
+            f"cannot perform an INSERT without the distribution column"
+            f" {dist.dist_column!r}"
+        ) from None
+    return _const_of(row[position], params)
+
+
+def _single_dist_value(where, dist, alias, params):
+    """Extract the value of a ``dist_col = const`` conjunct; _MISS if the
+    filter is absent or not a simple equality."""
+    if where is None:
+        return _MISS
+    from ..sharding import _conjuncts  # shared conjunct splitting
+
+    for conjunct in _conjuncts(where):
+        if not (isinstance(conjunct, A.BinaryOp) and conjunct.op == "="):
+            continue
+        left, right = conjunct.left, conjunct.right
+        if _is_dist_ref(right, dist, alias):
+            left, right = right, left
+        if _is_dist_ref(left, dist, alias):
+            value = _const_of(right, params)
+            if value is not _MISS:
+                return value
+    return _MISS
+
+
+def _is_dist_ref(expr, dist, alias) -> bool:
+    return (
+        isinstance(expr, A.ColumnRef)
+        and expr.name == dist.dist_column
+        and expr.table in (None, alias)
+    )
+
+
+def _const_of(expr, params):
+    if isinstance(expr, A.Literal):
+        return expr.value
+    if isinstance(expr, A.Cast):
+        inner = _const_of(expr.operand, params)
+        if inner is _MISS:
+            return _MISS
+        from ...engine.datum import cast_value
+
+        return cast_value(inner, expr.type_name)
+    if isinstance(expr, A.Param):
+        if expr.index is not None and isinstance(params, (list, tuple)):
+            if expr.index <= len(params):
+                return params[expr.index - 1]
+        if expr.name is not None and isinstance(params, dict) and expr.name in params:
+            return params[expr.name]
+    return _MISS
+
+
+def _contains_subquery(stmt) -> bool:
+    return any(isinstance(n, A.SubqueryExpr) for n in A.walk(stmt))

@@ -1,0 +1,432 @@
+"""Logical pushdown planner (§3.5).
+
+Plans multi-shard queries whose join tree can be fully pushed down: all
+distributed tables are co-located and joined on their distribution columns
+(checked via the equivalence analysis), and no inner subquery aggregates
+across shards. Two merge strategies exist:
+
+- **concat** — the GROUP BY contains the distribution column (or there is
+  no aggregation): every group lives on one shard, so workers run the
+  complete query and the coordinator only concatenates, re-sorts and
+  re-limits. This is the trivially parallel case the paper describes.
+- **two-phase aggregation** — otherwise the outermost aggregates are split
+  into worker-side partial aggregates and a coordinator-side merge query
+  over the combined intermediate result, the VeniceDB pattern of §5
+  ("calculating partial aggregates on the worker nodes and merging the
+  partial aggregates on the coordinator").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...engine.functions import PARTIAL_REWRITES, is_aggregate
+from ...errors import UnsupportedDistributedQuery
+from ...sql import ast as A
+from ...sql.deparse import deparse
+from ..sharding import QueryAnalysis, prune_shards
+from .tasks import Task, task_sql_for_shard
+
+
+@dataclass
+class PushdownSelect:
+    """The result of planning a multi-shard SELECT."""
+
+    tasks: list
+    mode: str  # "concat" | "merge"
+    master_query: A.Select | None  # merge mode: query over the intermediate
+    intermediate_columns: list  # column names of worker result
+    visible_columns: list  # output column names
+    hidden_sort_keys: list  # concat mode: (position, ascending, nulls_first)
+    distinct: bool = False
+    offset: A.Expr | None = None
+    limit: A.Expr | None = None
+    n_visible: int = 0
+
+
+def plan_pushdown_select(ext, select: A.Select, params, analysis: QueryAnalysis):
+    """Build a PushdownSelect, or None when pushdown does not apply,
+    raising UnsupportedDistributedQuery for recognisably unsupported SQL."""
+    cache = ext.metadata.cache
+    dist = analysis.distributed
+    if not dist:
+        return None
+    if analysis.locals:
+        raise UnsupportedDistributedQuery(
+            "joining local tables with distributed tables is not supported"
+        )
+    if select.for_update:
+        raise UnsupportedDistributedQuery(
+            "SELECT FOR UPDATE on multiple shards is not supported"
+        )
+    if select.set_ops:
+        raise UnsupportedDistributedQuery(
+            "set operations on distributed tables require a single shard (router)"
+        )
+    if select.ctes:
+        raise UnsupportedDistributedQuery(
+            "CTEs over multiple shards are not supported in this reproduction"
+        )
+    colocation_ids = {o.dist.colocation_id for o in dist}
+    if len(colocation_ids) != 1 or not analysis.all_dist_columns_equal():
+        return None  # hand over to the join-order planner
+    if analysis.inner_cross_shard_agg:
+        raise UnsupportedDistributedQuery(
+            "subqueries that aggregate across shards cannot be pushed down"
+            " (only the outermost aggregation is distributed)"
+        )
+
+    _check_window_functions(select, analysis)
+    anchor = dist[0]
+    shard_indexes = prune_shards(anchor.dist, select.where, params, anchor.alias)
+    mode = _choose_mode(select, analysis)
+    if mode == "concat":
+        return _plan_concat(ext, select, params, analysis, anchor, shard_indexes)
+    return _plan_merge(ext, select, params, analysis, anchor, shard_indexes)
+
+
+def _check_window_functions(select: A.Select, analysis: QueryAnalysis) -> None:
+    """Multi-shard window functions push down only when every window is
+    partitioned by the distribution column — each partition then lives on
+    one shard (the same restriction Citus applies)."""
+    windows = [
+        n for t in select.targets if isinstance(t, A.TargetEntry)
+        for n in A.walk(t.expr)
+        if isinstance(n, A.FuncCall) and n.over is not None
+    ]
+    if not windows:
+        return
+    dist_roots = {
+        analysis.equivalence.find(analysis.dist_column_key(occ))
+        for occ in analysis.distributed
+    }
+    for window in windows:
+        partition_ok = False
+        for expr in window.over.partition_by:
+            if isinstance(expr, A.ColumnRef):
+                if analysis.equivalence.find(expr.key) in dist_roots:
+                    partition_ok = True
+                for occ in analysis.distributed:
+                    if expr.table is None and expr.name == occ.dist.dist_column:
+                        partition_ok = True
+        if not partition_ok:
+            raise UnsupportedDistributedQuery(
+                "window functions on distributed tables must be partitioned"
+                " by the distribution column"
+            )
+
+
+def _choose_mode(select: A.Select, analysis: QueryAnalysis) -> str:
+    has_aggs = _query_has_aggregates(select)
+    if not has_aggs and not select.group_by and not select.distinct:
+        return "concat"
+    if _group_by_contains_dist_column(select, analysis):
+        return "concat"
+    if not has_aggs and not select.group_by and select.distinct:
+        return "concat"  # DISTINCT re-applied on the coordinator
+    return "merge"
+
+
+def _query_has_aggregates(select: A.Select) -> bool:
+    nodes = list(select.targets)
+    if select.having is not None:
+        nodes.append(select.having)
+    for entry in nodes:
+        expr = entry.expr if isinstance(entry, A.TargetEntry) else entry
+        if expr is None:
+            continue
+        if any(isinstance(n, A.FuncCall) and is_aggregate(n.name) for n in _walk_no_subquery(expr)):
+            return True
+    return False
+
+
+def _walk_no_subquery(expr):
+    """Walk an expression without descending into subqueries (their
+    aggregates belong to the subquery, not this level)."""
+    if isinstance(expr, A.SubqueryExpr):
+        return
+    if isinstance(expr, A.Node):
+        yield expr
+        import dataclasses
+
+        for f in dataclasses.fields(expr):
+            value = getattr(expr, f.name)
+            if isinstance(value, A.Node):
+                yield from _walk_no_subquery(value)
+            elif isinstance(value, (list, tuple)):
+                for v in value:
+                    if isinstance(v, A.Node):
+                        yield from _walk_no_subquery(v)
+
+
+def _group_by_contains_dist_column(select: A.Select, analysis: QueryAnalysis) -> bool:
+    if not select.group_by:
+        return False
+    dist = analysis.distributed
+    if not dist:
+        return False
+    dist_roots = {
+        analysis.equivalence.find(analysis.dist_column_key(occ)) for occ in dist
+    }
+    targets = [t for t in select.targets if isinstance(t, A.TargetEntry)]
+    for g in select.group_by:
+        expr = g
+        if isinstance(g, A.Literal) and isinstance(g.value, int):
+            index = g.value - 1
+            if 0 <= index < len(targets):
+                expr = targets[index].expr
+        if isinstance(expr, A.ColumnRef):
+            if analysis.equivalence.find(expr.key) in dist_roots:
+                return True
+            # Unqualified reference to a distribution column.
+            for occ in dist:
+                if expr.table is None and expr.name == occ.dist.dist_column:
+                    return True
+    return False
+
+
+# ---------------------------------------------------------------- concat
+
+
+def _plan_concat(ext, select, params, analysis, anchor, shard_indexes):
+    cache = ext.metadata.cache
+    worker = select.copy()
+    # Hidden sort keys are either ("pos", output_index) for positional
+    # ORDER BY, or ("appended", j) for sort expressions appended to the
+    # worker target list — resolved against the actual result width at
+    # execution time, because * targets expand only on the workers.
+    hidden_sort = []
+    visible = _visible_columns(select)
+    n_appended = 0
+    if worker.order_by:
+        # Append hidden sort columns so the coordinator can re-sort the
+        # concatenated rows, then push ORDER BY (+combined LIMIT) down.
+        for position, key in enumerate(worker.order_by):
+            expr = key.expr
+            if isinstance(expr, A.Literal) and isinstance(expr.value, int):
+                hidden_sort.append(
+                    (("pos", expr.value - 1), key.ascending, key.nulls_first)
+                )
+            else:
+                worker.targets.append(
+                    A.TargetEntry(expr.copy(), f"worker_sort_{position}")
+                )
+                hidden_sort.append(
+                    (("appended", n_appended), key.ascending, key.nulls_first)
+                )
+                n_appended += 1
+    limit, offset = select.limit, select.offset
+    if worker.limit is not None and worker.offset is not None:
+        worker.limit = A.BinaryOp("+", worker.limit, worker.offset)
+    worker.offset = None
+    tasks = _make_tasks(ext, worker, params, anchor, shard_indexes)
+    return PushdownSelect(
+        tasks=tasks,
+        mode="concat",
+        master_query=None,
+        intermediate_columns=[],
+        visible_columns=visible,
+        hidden_sort_keys=hidden_sort,
+        distinct=select.distinct,
+        offset=offset,
+        limit=limit,
+        n_visible=n_appended,  # reinterpreted: number of appended columns
+    )
+
+
+def _visible_columns(select) -> list[str]:
+    names = []
+    for entry in select.targets:
+        if isinstance(entry, A.TargetEntry):
+            if entry.alias:
+                names.append(entry.alias)
+            elif isinstance(entry.expr, A.ColumnRef):
+                names.append(entry.expr.name)
+            elif isinstance(entry.expr, A.FuncCall):
+                names.append(entry.expr.name.lower())
+            else:
+                names.append("?column?")
+        else:
+            names.append("*")
+    return names
+
+
+# ----------------------------------------------------------------- merge
+
+
+def _plan_merge(ext, select, params, analysis, anchor, shard_indexes):
+    worker_targets: list[A.TargetEntry] = []
+    worker_exprs_seen: dict[str, str] = {}  # deparse(expr) -> worker column
+
+    def worker_column_for(expr, partial_name=None) -> str:
+        key = (partial_name or "") + deparse(expr)
+        name = worker_exprs_seen.get(key)
+        if name is None:
+            name = f"worker_column_{len(worker_targets)}"
+            worker_exprs_seen[key] = name
+            worker_targets.append(A.TargetEntry(expr.copy(), name))
+        return name
+
+    group_worker_cols: list[str] = []
+    # DISTINCT aggregate arguments become extra worker grouping columns:
+    # workers emit one row per (group keys, distinct value); the
+    # coordinator re-applies the DISTINCT aggregate over them.
+    distinct_group_cols: list[str] = []
+    distinct_group_exprs: list = []
+
+    def split(expr):
+        """Rewrite ``expr`` into its master form, pushing aggregate inputs
+        and group keys into the worker target list."""
+        if isinstance(expr, A.FuncCall) and is_aggregate(expr.name):
+            if expr.distinct and len(expr.args) == 1 and not expr.order_by:
+                col = worker_column_for(expr.args[0])
+                if col not in distinct_group_cols:
+                    distinct_group_cols.append(col)
+                    distinct_group_exprs.append(expr.args[0])
+                return A.FuncCall(expr.name, [A.ColumnRef(col)], distinct=True)
+            rewrite = PARTIAL_REWRITES.get(expr.name.lower())
+            if rewrite is None or expr.distinct or expr.order_by:
+                raise UnsupportedDistributedQuery(
+                    f"aggregate {expr.name}({'DISTINCT ' if expr.distinct else ''}...)"
+                    " cannot be distributed without grouping by the distribution column"
+                )
+            worker_name, merge_name = rewrite
+            worker_agg = expr.copy()
+            worker_agg.name = worker_name
+            col = worker_column_for(worker_agg, partial_name=worker_name)
+            return A.FuncCall(merge_name, [A.ColumnRef(col)])
+        if not _contains_aggregate(expr):
+            col = worker_column_for(expr)
+            if col not in group_worker_cols:
+                group_worker_cols.append(col)
+            return A.ColumnRef(col)
+        # Mixed expression: recurse structurally.
+        import dataclasses
+
+        kwargs = {}
+        for f in dataclasses.fields(expr):
+            value = getattr(expr, f.name)
+            if isinstance(value, A.Node):
+                kwargs[f.name] = split(value)
+            elif isinstance(value, list):
+                kwargs[f.name] = [split(v) if isinstance(v, A.Node) else v for v in value]
+            else:
+                kwargs[f.name] = value
+        return type(expr)(**kwargs)
+
+    master_targets = []
+    targets = [t for t in select.targets if isinstance(t, A.TargetEntry)]
+    if len(targets) != len(select.targets):
+        raise UnsupportedDistributedQuery(
+            "SELECT * with cross-shard aggregation is not supported"
+        )
+    for entry in targets:
+        master_targets.append(A.TargetEntry(split(entry.expr), entry.alias))
+
+    # Original GROUP BY keys not already covered become hidden worker
+    # columns so the coordinator can re-group identically.
+    resolved_groups = []
+    for g in select.group_by:
+        expr = g
+        if isinstance(g, A.Literal) and isinstance(g.value, int):
+            index = g.value - 1
+            if 0 <= index < len(targets):
+                expr = targets[index].expr
+        elif isinstance(g, A.ColumnRef) and g.table is None:
+            for entry in targets:
+                if entry.alias == g.name:
+                    expr = entry.expr
+                    break
+        resolved_groups.append(expr)
+        if not _contains_aggregate(expr):
+            col = worker_column_for(expr)
+            if col not in group_worker_cols:
+                group_worker_cols.append(col)
+
+    master_having = split(select.having) if select.having is not None else None
+    master_order = []
+    for key in select.order_by:
+        if isinstance(key.expr, A.Literal) and isinstance(key.expr.value, int):
+            master_order.append(A.SortKey(key.expr.copy(), key.ascending, key.nulls_first))
+        elif isinstance(key.expr, A.ColumnRef) and key.expr.table is None and any(
+            t.alias == key.expr.name for t in targets
+        ):
+            master_order.append(A.SortKey(key.expr.copy(), key.ascending, key.nulls_first))
+        else:
+            master_order.append(A.SortKey(split(key.expr), key.ascending, key.nulls_first))
+
+    worker_query = A.Select(
+        targets=worker_targets,
+        from_items=[f.copy() for f in select.from_items],
+        where=select.where.copy() if select.where is not None else None,
+        group_by=[g.copy() for g in resolved_groups]
+        + [e.copy() for e in distinct_group_exprs],
+        distinct=False,
+    )
+    intermediate = "citus_intermediate"
+    master_query = A.Select(
+        targets=master_targets,
+        from_items=[A.TableRef(intermediate)],
+        group_by=[A.ColumnRef(c) for c in group_worker_cols],
+        having=master_having,
+        order_by=master_order,
+        limit=select.limit.copy() if select.limit is not None else None,
+        offset=select.offset.copy() if select.offset is not None else None,
+        distinct=select.distinct,
+    )
+    tasks = _make_tasks(ext, worker_query, params, anchor, shard_indexes)
+    return PushdownSelect(
+        tasks=tasks,
+        mode="merge",
+        master_query=master_query,
+        intermediate_columns=[t.alias for t in worker_targets],
+        visible_columns=_visible_columns(select),
+        hidden_sort_keys=[],
+        n_visible=len(targets),
+    )
+
+
+def _contains_aggregate(expr) -> bool:
+    return any(
+        isinstance(n, A.FuncCall) and is_aggregate(n.name) for n in _walk_no_subquery(expr)
+    )
+
+
+def _make_tasks(ext, worker_query, params, anchor, shard_indexes) -> list[Task]:
+    cache = ext.metadata.cache
+    tasks = []
+    for index in shard_indexes:
+        shard = anchor.dist.shards[index]
+        node = cache.placement_node(shard.shardid)
+        sql = task_sql_for_shard(worker_query, cache, index)
+        tasks.append(
+            Task(node, sql, params, shard_group=(anchor.dist.colocation_id, index))
+        )
+    return tasks
+
+
+# ------------------------------------------------------------ DML pushdown
+
+
+def plan_pushdown_dml(ext, stmt, params, analysis) -> list[Task] | None:
+    """Multi-shard UPDATE/DELETE: one task per (pruned) shard."""
+    dist_occurrences = analysis.distributed
+    if len(dist_occurrences) != 1 or analysis.locals:
+        return None
+    if any(isinstance(n, A.SubqueryExpr) for n in A.walk(stmt)):
+        raise UnsupportedDistributedQuery(
+            "subqueries in multi-shard UPDATE/DELETE are not supported"
+        )
+    occ = dist_occurrences[0]
+    cache = ext.metadata.cache
+    shard_indexes = prune_shards(occ.dist, stmt.where, params, occ.alias)
+    tasks = []
+    for index in shard_indexes:
+        shard = occ.dist.shards[index]
+        node = cache.placement_node(shard.shardid)
+        sql = task_sql_for_shard(stmt, cache, index)
+        tasks.append(
+            Task(node, sql, params, shard_group=(occ.dist.colocation_id, index),
+                 returns_rows=bool(getattr(stmt, "returning", [])))
+        )
+    return tasks

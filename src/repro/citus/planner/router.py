@@ -1,0 +1,44 @@
+"""Router planner (§3.5).
+
+Handles arbitrarily complex statements that can be scoped to one set of
+co-located shards: every distributed table must share a colocation group
+and have its distribution column constrained — directly or transitively
+through join equalities — to the same constant. The whole query is then
+rewritten to shard names and delegated to the placement node, which is why
+"the router planner implicitly supports all SQL features that PostgreSQL
+supports".
+"""
+
+from __future__ import annotations
+
+from ...engine.datum import hash_value
+from ...sql import ast as A
+from ..sharding import analyze_statement
+from .tasks import Task, task_sql_for_shard
+
+
+def try_router(ext, stmt, params, analysis=None):
+    """Return [Task] if the statement routes to a single shard group."""
+    cache = ext.metadata.cache
+    if analysis is None:
+        analysis = analyze_statement(stmt, cache, params, ext.instance.catalog)
+    dist = analysis.distributed
+    if not dist:
+        return None
+    if analysis.locals:
+        return None  # local/distributed mix cannot be routed
+    colocation_ids = {o.dist.colocation_id for o in dist}
+    if len(colocation_ids) != 1:
+        return None
+    value, ok = analysis.common_constant()
+    if not ok:
+        return None
+    anchor = dist[0].dist
+    shard_index = anchor.shard_index_for_value(value)
+    node = cache.placement_node(anchor.shards[shard_index].shardid)
+    sql = task_sql_for_shard(stmt, cache, shard_index)
+    returns = isinstance(stmt, A.Select) or bool(getattr(stmt, "returning", []))
+    return [
+        Task(node, sql, params, shard_group=(anchor.colocation_id, shard_index),
+             returns_rows=returns)
+    ]

@@ -1,0 +1,1 @@
+"""Distributed transactions: 2PC, recovery, deadlock detection."""

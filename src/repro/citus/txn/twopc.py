@@ -1,0 +1,130 @@
+"""Distributed transactions: 1PC delegation and two-phase commit (§3.7).
+
+Wired into the engine's transaction callbacks:
+
+- **pre-commit** — if the coordinator transaction touched exactly one
+  worker transaction, send a plain COMMIT (single-node delegation, §3.7.1:
+  the worker "provides the same transactional guarantees as a single
+  PostgreSQL server"). If it touched several, run phase one: PREPARE
+  TRANSACTION on every participant, then write a commit record per
+  prepared transaction into ``pg_dist_transaction`` — the records become
+  durable atomically with the local commit.
+- **post-commit** — phase two: COMMIT PREPARED on a best-effort basis;
+  failures are left for the recovery daemon.
+- **abort** — ROLLBACK (or ROLLBACK PREPARED) everywhere, best-effort.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ...errors import ReproError
+from ..executor.placement import SessionPools
+
+_gid_counter = itertools.count(1)
+
+
+def make_gid(coordinator_name: str, backend_pid: int) -> str:
+    return f"citus_{coordinator_name}_{backend_pid}_{next(_gid_counter)}"
+
+
+class TransactionCallbacks:
+    """The pre-commit / post-commit / abort hooks Citus installs."""
+
+    def __init__(self, ext):
+        self.ext = ext
+
+    # ----------------------------------------------------------- pre-commit
+
+    def pre_commit(self, session) -> None:
+        pools = getattr(session, SessionPools.ATTR, None)
+        if pools is None:
+            return
+        participants = pools.txn_connections()
+        if not participants:
+            return
+        # Read-only participants commit with a plain COMMIT; only writers
+        # need atomic commitment.
+        writers = [c for c in participants if getattr(c, "did_write", False)]
+        readers = [c for c in participants if c not in writers]
+        for conn in readers:
+            conn.execute("COMMIT")
+            conn.in_txn_block = False
+        if not writers:
+            pools.end_transaction()
+            return
+        if len(writers) == 1:
+            # Single worker transaction: delegate, no 2PC needed (§3.7.1).
+            conn = writers[0]
+            conn.execute("COMMIT")
+            conn.in_txn_block = False
+            session.stats["citus_1pc_commits"] += 1
+            pools.end_transaction()
+            return
+        # Phase one: prepare every writer.
+        prepared: list[tuple] = []  # (conn, gid)
+        self.ext.stats["2pc_count"] += 1
+        session.stats["citus_2pc_commits"] += 1
+        participants = writers
+        for conn in participants:
+            gid = make_gid(self.ext.instance.name, session.backend_pid)
+            try:
+                conn.execute(f"PREPARE TRANSACTION '{gid}'")
+            except Exception:
+                # Prepare failed: abort the already-prepared participants
+                # and the local transaction.
+                for other_conn, other_gid in prepared:
+                    _best_effort(other_conn, f"ROLLBACK PREPARED '{other_gid}'")
+                for other in participants:
+                    if other is not conn and all(other is not c for c, _ in prepared):
+                        _best_effort(other, "ROLLBACK")
+                conn.in_txn_block = False
+                pools.end_transaction()
+                raise
+            conn.in_txn_block = False
+            prepared.append((conn, gid))
+        # Commit records: become durable together with the local commit.
+        for _conn, gid in prepared:
+            self.ext.metadata.write_commit_record(session, gid)
+        session._citus_prepared = prepared  # handed to post-commit
+
+    # ---------------------------------------------------------- post-commit
+
+    def post_commit(self, session) -> None:
+        prepared = getattr(session, "_citus_prepared", None)
+        if prepared:
+            for conn, gid in prepared:
+                if self.ext.failpoints.get("skip_commit_prepared"):
+                    # Failure injection: leave the prepared transaction for
+                    # the recovery daemon.
+                    continue
+                _best_effort(conn, f"COMMIT PREPARED '{gid}'")
+            session._citus_prepared = None
+        pools = getattr(session, SessionPools.ATTR, None)
+        if pools is not None:
+            pools.end_transaction()
+
+    # --------------------------------------------------------------- abort
+
+    def abort(self, session) -> None:
+        prepared = getattr(session, "_citus_prepared", None)
+        if prepared:
+            # The local commit failed after phase one: without visible
+            # commit records, recovery must abort these; do it eagerly.
+            for conn, gid in prepared:
+                _best_effort(conn, f"ROLLBACK PREPARED '{gid}'")
+            session._citus_prepared = None
+        pools = getattr(session, SessionPools.ATTR, None)
+        if pools is None:
+            return
+        for conn in pools.txn_connections():
+            _best_effort(conn, "ROLLBACK")
+            conn.in_txn_block = False
+        pools.end_transaction()
+
+
+def _best_effort(conn, sql: str) -> None:
+    try:
+        conn.execute(sql)
+    except ReproError:
+        pass

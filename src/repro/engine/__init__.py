@@ -1,0 +1,14 @@
+"""Single-node PostgreSQL-like engine: the substrate Citus extends.
+
+Public surface:
+
+- :class:`PostgresInstance` — one simulated PostgreSQL server.
+- :class:`Session` — one backend / connection.
+- :class:`InstanceSpec` — hardware description for the performance model.
+- :class:`QueryResult` — rows + column names + rowcount.
+"""
+
+from .executor import QueryResult
+from .instance import InstanceSpec, PostgresInstance, Session
+
+__all__ = ["PostgresInstance", "Session", "InstanceSpec", "QueryResult"]

@@ -1,0 +1,87 @@
+"""COPY: bulk append of rows to a table.
+
+``COPY t FROM STDIN`` accepts either pre-split rows (list of value lists)
+or CSV text. Like PostgreSQL, COPY goes through the same insertion path as
+INSERT (index maintenance, constraints) but in a single streamed command —
+the paper's §3.8 distributed COPY builds on this by opening one of these
+per shard.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from ..errors import DataError
+from ..sql import ast as A
+from .datum import cast_value
+from .executor import LocalExecutor, QueryResult
+
+
+def execute_copy(session, stmt: A.Copy, copy_data) -> QueryResult:
+    if stmt.direction == "to":
+        return _copy_to(session, stmt)
+    if copy_data is None:
+        raise DataError("COPY FROM STDIN requires copy_data")
+    rows = _normalize_rows(copy_data, session, stmt)
+    count = copy_into(session, stmt.table, rows, stmt.columns or None)
+    result = QueryResult([], [], command="COPY")
+    result.rowcount = count
+    return result
+
+
+def copy_into(session, table_name: str, rows, columns=None) -> int:
+    """Append rows through the executor's insert path. Returns row count."""
+    table = session.instance.catalog.get_table(table_name)
+    session.acquire_table_lock(table_name, "RowExclusive")
+    executor = LocalExecutor(session)
+    columns = columns or table.column_names()
+    count = 0
+    for values in rows:
+        values = list(values)
+        if len(values) != len(columns):
+            raise DataError(
+                f"COPY row has {len(values)} values but {len(columns)} columns expected"
+            )
+        full = executor._build_full_row(table, columns, values)
+        executor._check_not_null(table, full)
+        if executor._find_conflict(table, full, None) is not None:
+            from ..errors import UniqueViolation
+
+            raise UniqueViolation(
+                f"duplicate key value violates unique constraint on {table_name!r}"
+            )
+        executor._check_foreign_keys(table, full)
+        executor._do_insert(table, full)
+        count += 1
+    session.stats["rows_copied"] += count
+    return count
+
+
+def _normalize_rows(copy_data, session, stmt: A.Copy):
+    if isinstance(copy_data, str):
+        table = session.instance.catalog.get_table(stmt.table)
+        columns = stmt.columns or table.column_names()
+        types = [table.column(c).type_name for c in columns]
+        reader = csv.reader(io.StringIO(copy_data))
+        for record in reader:
+            if not record:
+                continue
+            yield [
+                None if text == "" else cast_value(text, type_name)
+                for text, type_name in zip(record, types)
+            ]
+    else:
+        yield from copy_data
+
+
+def _copy_to(session, stmt: A.Copy) -> QueryResult:
+    table = session.instance.catalog.get_table(stmt.table)
+    columns = stmt.columns or table.column_names()
+    select = A.Select(
+        targets=[A.TargetEntry(A.ColumnRef(c)) for c in columns],
+        from_items=[A.TableRef(stmt.table)],
+    )
+    result = LocalExecutor(session).execute_select(select, None)
+    result.command = "COPY"
+    return result

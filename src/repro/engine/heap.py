@@ -1,0 +1,162 @@
+"""Heap storage: MVCC tuple versions, page accounting, dead tuples, vacuum.
+
+A :class:`Heap` stores all versions of all rows of one table (or one shard —
+shards are just tables named ``<table>_<shardid>``). Each logical row keeps
+a stable ``row_id`` across UPDATE version chains, which is what row-level
+locks attach to.
+
+Page accounting feeds the performance model: the paper's benchmarks hinge
+on whether the working set fits in memory, so the heap tracks an estimated
+on-disk size from row widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .datum import to_text
+from .mvcc import CommitLog, HeapTupleHeader, Snapshot, tuple_visible
+
+PAGE_SIZE = 8192
+TUPLE_OVERHEAD = 28  # header bytes per tuple, roughly PostgreSQL's
+
+
+@dataclass
+class HeapTuple:
+    tid: int
+    row_id: int
+    values: list
+    header: HeapTupleHeader
+
+    def width(self) -> int:
+        return TUPLE_OVERHEAD + sum(_value_width(v) for v in self.values)
+
+
+def _value_width(value) -> int:
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value) + 4
+    if isinstance(value, (dict, list)):
+        return len(to_text(value)) + 8
+    return 16
+
+
+class Heap:
+    """All tuple versions of one table, in insertion order."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.tuples: list[HeapTuple] = []
+        self._by_tid: dict[int, HeapTuple] = {}
+        self._next_tid = 1
+        self._next_row_id = 1
+        self.live_bytes = 0
+        self.dead_bytes = 0
+        self.dead_tuples = 0
+
+    # ------------------------------------------------------------- writes
+
+    def insert(self, values: list, xmin: int, row_id: int | None = None) -> HeapTuple:
+        if row_id is None:
+            row_id = self._next_row_id
+            self._next_row_id += 1
+        tup = HeapTuple(self._next_tid, row_id, list(values), HeapTupleHeader(xmin))
+        self._next_tid += 1
+        self.tuples.append(tup)
+        self._by_tid[tup.tid] = tup
+        self.live_bytes += tup.width()
+        return tup
+
+    def mark_deleted(self, tid: int, xmax: int) -> HeapTuple:
+        tup = self._by_tid[tid]
+        tup.header.xmax = xmax
+        return tup
+
+    def unmark_deleted(self, tid: int) -> None:
+        """Roll back a delete mark (aborting xmax is enough for MVCC, but
+        clearing keeps the heap tidy for inspection)."""
+        tup = self._by_tid.get(tid)
+        if tup is not None:
+            tup.header.xmax = None
+
+    def get(self, tid: int) -> HeapTuple | None:
+        return self._by_tid.get(tid)
+
+    # -------------------------------------------------------------- reads
+
+    def scan(self, snapshot: Snapshot, clog: CommitLog):
+        """Yield tuples visible to the snapshot."""
+        for tup in self.tuples:
+            if tuple_visible(tup.header, snapshot, clog):
+                yield tup
+
+    def latest_version(self, row_id: int, clog: CommitLog | None = None) -> HeapTuple | None:
+        """The newest non-aborted version of a logical row (used by UPDATE
+        re-checks after lock waits). Versions inserted by aborted
+        transactions are skipped — they are not part of the live chain."""
+        from .mvcc import ABORTED
+
+        newest = None
+        for tup in self.tuples:
+            if tup.row_id != row_id:
+                continue
+            if clog is not None and clog.status(tup.header.xmin) == ABORTED:
+                continue
+            newest = tup
+        return newest
+
+    # ------------------------------------------------------------- vacuum
+
+    def vacuum(self, oldest_active_xid: int, clog: CommitLog) -> int:
+        """Remove tuple versions no transaction can see anymore.
+
+        Mirrors PostgreSQL autovacuum: a version is dead when its xmax
+        committed before the oldest active xid, or its xmin aborted.
+        Returns the number of versions reclaimed.
+        """
+        from .mvcc import ABORTED, COMMITTED
+
+        keep: list[HeapTuple] = []
+        removed = 0
+        for tup in self.tuples:
+            xmin_status = clog.status(tup.header.xmin)
+            dead = False
+            if xmin_status == ABORTED:
+                dead = True
+            elif tup.header.xmax is not None:
+                xmax_status = clog.status(tup.header.xmax)
+                if xmax_status == COMMITTED and tup.header.xmax < oldest_active_xid:
+                    dead = True
+            if dead:
+                removed += 1
+                width = tup.width()
+                self.live_bytes -= width
+                del self._by_tid[tup.tid]
+            else:
+                keep.append(tup)
+        self.tuples = keep
+        self.dead_tuples = 0
+        self.dead_bytes = 0
+        return removed
+
+    def note_dead(self, tup: HeapTuple) -> None:
+        self.dead_tuples += 1
+        self.dead_bytes += tup.width()
+
+    # ---------------------------------------------------------- statistics
+
+    @property
+    def total_bytes(self) -> int:
+        return max(self.live_bytes, 0)
+
+    @property
+    def page_count(self) -> int:
+        return max(1, (self.total_bytes + PAGE_SIZE - 1) // PAGE_SIZE)
+
+    def visible_count(self, snapshot: Snapshot, clog: CommitLog) -> int:
+        return sum(1 for _ in self.scan(snapshot, clog))

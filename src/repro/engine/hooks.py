@@ -1,0 +1,83 @@
+"""The PostgreSQL extension hook surface (§3.1 of the paper).
+
+Citus delivers *all* of its functionality through these hooks; this module
+is the contract between the engine substrate and the Citus layer:
+
+- **planner hook** — consulted for every SELECT/INSERT/UPDATE/DELETE before
+  the local planner; an extension may return a :class:`CustomScanPlan`
+  whose execution fully replaces local execution (the CustomScan node).
+- **utility hook** — consulted for every command that does not go through
+  the planner (DDL, COPY, TRUNCATE, VACUUM, ...).
+- **transaction callbacks** — pre-commit, post-commit, abort; Citus drives
+  its 2PC from these.
+- **background workers** — periodic jobs; Citus registers its maintenance
+  daemon (deadlock detection, 2PC recovery) here.
+- **UDFs** — registered in the catalog's function registry directly.
+
+Multiple extensions may install hooks; they are consulted in registration
+order and the first non-None answer wins (the paper notes Citus and
+TimescaleDB conflict exactly because both claim these hooks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class CustomScanPlan:
+    """A plan produced by a planner hook, replacing local planning.
+
+    Subclasses implement :meth:`execute` returning a
+    :class:`~repro.engine.executor.QueryResult` and :meth:`explain_lines`
+    for EXPLAIN output.
+    """
+
+    def execute(self, session, params):
+        raise NotImplementedError
+
+    def explain_lines(self) -> list[str]:
+        return ["Custom Scan"]
+
+
+@dataclass
+class HookRegistry:
+    planner_hooks: list[Callable] = field(default_factory=list)
+    utility_hooks: list[Callable] = field(default_factory=list)
+    pre_commit_callbacks: list[Callable] = field(default_factory=list)
+    post_commit_callbacks: list[Callable] = field(default_factory=list)
+    abort_callbacks: list[Callable] = field(default_factory=list)
+    background_workers: list["BackgroundWorker"] = field(default_factory=list)
+
+    def call_planner(self, session, stmt, params) -> Optional[CustomScanPlan]:
+        for hook in self.planner_hooks:
+            plan = hook(session, stmt, params)
+            if plan is not None:
+                return plan
+        return None
+
+    def call_utility(self, session, stmt):
+        for hook in self.utility_hooks:
+            result = hook(session, stmt)
+            if result is not None:
+                return result
+        return None
+
+
+@dataclass
+class BackgroundWorker:
+    """A registered background worker: ``fn(instance)`` run every
+    ``interval`` simulated seconds by the maintenance loop (and once
+    immediately on its first tick)."""
+
+    name: str
+    fn: Callable
+    interval: float = 2.0
+    last_run: Optional[float] = None
+
+    def maybe_run(self, instance, now: float) -> bool:
+        if self.last_run is None or now - self.last_run >= self.interval:
+            self.last_run = now
+            self.fn(instance)
+            return True
+        return False

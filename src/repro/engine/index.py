@@ -1,0 +1,152 @@
+"""Index access methods: B-tree and GIN (trigram).
+
+Indexes map key values to heap TIDs. They are *not* MVCC-aware — like
+PostgreSQL, they may return TIDs of invisible tuple versions; the executor
+rechecks visibility (and for GIN, rechecks the predicate) against the heap.
+
+The GIN index models ``pg_trgm``'s ``gin_trgm_ops``: the indexed expression
+is rendered to text, split into trigrams, and each trigram maps to the set
+of TIDs containing it. An ``ILIKE '%needle%'`` probe intersects the TID
+sets of the needle's trigrams — the same containment-with-recheck strategy
+PostgreSQL uses for Figure 7(b)'s dashboard query.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+
+from .datum import sort_key, to_text
+
+
+class BTreeIndex:
+    """Sorted (key, tid) pairs with bisect-based range scans.
+
+    Multi-column keys are tuples; ordering uses :func:`sort_key` per column
+    so heterogeneous values order consistently with the executor's ORDER BY.
+    """
+
+    def __init__(self, n_columns: int):
+        self.n_columns = n_columns
+        self._entries: list[tuple[tuple, int]] = []  # (sortable_key, tid)
+        self._keys: list[tuple] = []  # parallel array for bisect
+
+    @staticmethod
+    def make_key(values) -> tuple:
+        return tuple(sort_key(v) for v in values)
+
+    def insert(self, values, tid: int) -> None:
+        key = self.make_key(values)
+        pos = bisect.bisect_left(self._keys, key)
+        # Keep equal keys ordered by tid for determinism.
+        while pos < len(self._keys) and self._keys[pos] == key and self._entries[pos][1] < tid:
+            pos += 1
+        self._keys.insert(pos, key)
+        self._entries.insert(pos, (key, tid))
+
+    def delete(self, values, tid: int) -> None:
+        key = self.make_key(values)
+        pos = bisect.bisect_left(self._keys, key)
+        while pos < len(self._keys) and self._keys[pos] == key:
+            if self._entries[pos][1] == tid:
+                del self._keys[pos]
+                del self._entries[pos]
+                return
+            pos += 1
+
+    def scan_equal(self, values) -> list[int]:
+        """TIDs whose leading columns equal ``values`` (may be a prefix)."""
+        prefix = self.make_key(values)
+        lo = bisect.bisect_left(self._keys, prefix)
+        tids = []
+        for i in range(lo, len(self._keys)):
+            if self._keys[i][: len(prefix)] != prefix:
+                break
+            tids.append(self._entries[i][1])
+        return tids
+
+    def scan_range(self, low=None, high=None, low_inclusive=True, high_inclusive=True) -> list[int]:
+        """TIDs with leading-column key in [low, high] (single-column ranges)."""
+        low_key = sort_key(low) if low is not None else None
+        high_key = sort_key(high) if high is not None else None
+        lo = bisect.bisect_left(self._keys, (low_key,)) if low_key is not None else 0
+        tids = []
+        for i in range(lo, len(self._keys)):
+            first = self._keys[i][0]
+            if high_key is not None:
+                beyond = first > high_key if high_inclusive else first >= high_key
+                if beyond:
+                    break
+            if low_key is not None and not low_inclusive and first == low_key:
+                continue
+            tids.append(self._entries[i][1])
+        return tids
+
+    def scan_all(self) -> list[int]:
+        """All TIDs in key order (index-only-scan ordering)."""
+        return [tid for _, tid in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def trigrams(text: str) -> set[str]:
+    """pg_trgm-style trigram extraction (lower-cased, space-padded words)."""
+    grams: set[str] = set()
+    for word in text.lower().split():
+        padded = "  " + word + " "
+        for i in range(len(padded) - 2):
+            grams.add(padded[i : i + 3])
+    return grams
+
+
+class GinIndex:
+    """Inverted index: trigram -> set of TIDs. Rechecks happen at the heap."""
+
+    def __init__(self):
+        self._postings: dict[str, set[int]] = defaultdict(set)
+        self._tid_keys: dict[int, set[str]] = {}
+        self.entry_count = 0
+
+    def insert(self, value, tid: int) -> None:
+        grams = trigrams(to_text(value)) if value is not None else set()
+        self._tid_keys[tid] = grams
+        for gram in grams:
+            self._postings[gram].add(tid)
+        self.entry_count += len(grams)
+
+    def delete(self, value, tid: int) -> None:
+        for gram in self._tid_keys.pop(tid, set()):
+            postings = self._postings.get(gram)
+            if postings:
+                postings.discard(tid)
+                self.entry_count -= 1
+
+    def search_substring(self, needle: str) -> set[int] | None:
+        """Candidate TIDs that may contain ``needle`` (ILIKE '%needle%').
+
+        Returns None when the needle is too short to extract trigrams from
+        (the planner must fall back to a sequential scan, as PostgreSQL does).
+        """
+        grams = _substring_trigrams(needle)
+        if not grams:
+            return None
+        result: set[int] | None = None
+        for gram in grams:
+            postings = self._postings.get(gram, set())
+            result = set(postings) if result is None else (result & postings)
+            if not result:
+                return set()
+        return result if result is not None else set()
+
+
+def _substring_trigrams(needle: str) -> set[str]:
+    """Trigrams fully contained in any match of %needle% (no padding —
+    we don't know the match boundaries)."""
+    grams: set[str] = set()
+    for word in needle.lower().split():
+        if len(word) < 3:
+            continue
+        for i in range(len(word) - 2):
+            grams.add(word[i : i + 3])
+    return grams

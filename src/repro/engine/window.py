@@ -1,0 +1,229 @@
+"""Window function execution.
+
+Supports ranking functions (``row_number``, ``rank``, ``dense_rank``,
+``ntile``), navigation (``lag``, ``lead``, ``first_value``, ``last_value``)
+and any aggregate from the aggregate library used as a window.
+
+Frame semantics follow PostgreSQL defaults: with an ORDER BY the frame is
+*range between unbounded preceding and current row* (running aggregates,
+peers included); without one, the whole partition.
+"""
+
+from __future__ import annotations
+
+from ..errors import DataError
+from ..sql import ast as A
+from .datum import sort_key
+from .functions import get_aggregate, is_aggregate
+
+RANKING_FUNCTIONS = {"row_number", "rank", "dense_rank", "ntile"}
+NAVIGATION_FUNCTIONS = {"lag", "lead", "first_value", "last_value"}
+
+
+def is_window_capable(name: str) -> bool:
+    name = name.lower()
+    return (
+        name in RANKING_FUNCTIONS
+        or name in NAVIGATION_FUNCTIONS
+        or is_aggregate(name)
+    )
+
+
+def contains_window_function(expr) -> bool:
+    return any(
+        isinstance(n, A.FuncCall) and n.over is not None for n in A.walk(expr)
+    )
+
+
+def compute_window_values(executor, node: A.FuncCall, rows, params, outer) -> list:
+    """Evaluate one window function over the input rows; returns a value
+    per row, aligned with ``rows`` order."""
+    from .expr import evaluate
+
+    name = node.name.lower()
+    if not is_window_capable(name):
+        raise DataError(f"{name}() is not a window function")
+    window = node.over
+
+    def ctx_for(row):
+        return executor._ctx(row, params, outer)
+
+    # Partition rows.
+    partitions: dict[tuple, list[int]] = {}
+    order_in_input = list(range(len(rows)))
+    for i in order_in_input:
+        ctx = ctx_for(rows[i])
+        key = tuple(
+            _hashable(evaluate(e, ctx)) for e in window.partition_by
+        )
+        partitions.setdefault(key, []).append(i)
+
+    values: list = [None] * len(rows)
+    for indices in partitions.values():
+        ordered = _order_partition(executor, indices, rows, window.order_by,
+                                   params, outer)
+        peer_groups = _peer_groups(executor, ordered, rows, window.order_by,
+                                   params, outer)
+        if name in RANKING_FUNCTIONS:
+            _compute_ranking(name, node, executor, ordered, peer_groups, rows,
+                             values, params, outer)
+        elif name in NAVIGATION_FUNCTIONS:
+            _compute_navigation(name, node, executor, ordered, rows, values,
+                                params, outer)
+        else:
+            _compute_window_aggregate(node, executor, ordered, peer_groups,
+                                      rows, values, params, outer,
+                                      running=bool(window.order_by))
+    return values
+
+
+def _order_partition(executor, indices, rows, order_by, params, outer):
+    from .expr import evaluate
+
+    if not order_by:
+        return list(indices)
+
+    def key_fn(i):
+        ctx = executor._ctx(rows[i], params, outer)
+        keys = []
+        for sk in order_by:
+            value = evaluate(sk.expr, ctx)
+            nulls_first = sk.nulls_first
+            if nulls_first is None:
+                nulls_first = not sk.ascending
+            null_rank = (0 if nulls_first else 1) if value is None else (
+                1 if nulls_first else 0
+            )
+            vk = sort_key(value)
+            if not sk.ascending:
+                from .executor import _Reversed
+
+                vk = _Reversed(vk)
+            keys.append((null_rank, vk))
+        return keys
+
+    return sorted(indices, key=key_fn)
+
+
+def _peer_groups(executor, ordered, rows, order_by, params, outer):
+    """Group consecutive rows with equal ORDER BY keys (rank peers)."""
+    from .expr import evaluate
+
+    if not order_by:
+        return [list(ordered)]
+    groups = []
+    last_key = object()
+    for i in ordered:
+        ctx = executor._ctx(rows[i], params, outer)
+        key = tuple(_hashable(evaluate(sk.expr, ctx)) for sk in order_by)
+        if key != last_key:
+            groups.append([i])
+            last_key = key
+        else:
+            groups[-1].append(i)
+    return groups
+
+
+def _compute_ranking(name, node, executor, ordered, peer_groups, rows, values,
+                     params, outer):
+    from .expr import evaluate
+
+    if name == "row_number":
+        for position, i in enumerate(ordered, start=1):
+            values[i] = position
+        return
+    if name == "ntile":
+        ctx = executor._ctx(rows[ordered[0]], params, outer)
+        buckets = int(evaluate(node.args[0], ctx)) if node.args else 1
+        n = len(ordered)
+        for position, i in enumerate(ordered):
+            values[i] = min(position * buckets // n + 1, buckets)
+        return
+    rank = 1
+    dense = 1
+    seen = 0
+    for group in peer_groups:
+        for i in group:
+            values[i] = rank if name == "rank" else dense
+        seen += len(group)
+        rank = seen + 1
+        dense += 1
+
+
+def _compute_navigation(name, node, executor, ordered, rows, values, params, outer):
+    from .expr import evaluate
+
+    def arg_value(i, position):
+        ctx = executor._ctx(rows[i], params, outer)
+        return evaluate(node.args[position], ctx)
+
+    if name in ("first_value", "last_value"):
+        source = ordered[0] if name == "first_value" else ordered[-1]
+        for i in ordered:
+            values[i] = arg_value(source, 0)
+        return
+    offset = 1
+    default = None
+    for position, i in enumerate(ordered):
+        if len(node.args) > 1:
+            offset = int(arg_value(i, 1))
+        if len(node.args) > 2:
+            default = arg_value(i, 2)
+        target = position - offset if name == "lag" else position + offset
+        if 0 <= target < len(ordered):
+            values[i] = arg_value(ordered[target], 0)
+        else:
+            values[i] = default
+
+
+def _compute_window_aggregate(node, executor, ordered, peer_groups, rows,
+                              values, params, outer, running: bool):
+    from .expr import evaluate
+
+    agg = get_aggregate(node.name)
+    if not running:
+        state = agg.init()
+        for i in ordered:
+            ctx = executor._ctx(rows[i], params, outer)
+            state = _accumulate(agg, node, state, ctx)
+        final = agg.finalize(state)
+        for i in ordered:
+            values[i] = final
+        return
+    # Running aggregate over peer groups (default frame).
+    state = agg.init()
+    for group in peer_groups:
+        for i in group:
+            ctx = executor._ctx(rows[i], params, outer)
+            state = _accumulate(agg, node, state, ctx)
+        # All peers share the frame end at the last peer.
+        snapshot = agg.finalize(_copy_state(state))
+        for i in group:
+            values[i] = snapshot
+
+
+def _accumulate(agg, node, state, ctx):
+    from .expr import evaluate
+    from .functions import _STAR
+
+    if len(node.args) == 1 and isinstance(node.args[0], A.Star):
+        return agg.accumulate(state, _STAR)
+    if not node.args:
+        return agg.accumulate(state, _STAR)
+    return agg.accumulate(state, *[evaluate(a, ctx) for a in node.args])
+
+
+def _copy_state(state):
+    if isinstance(state, list):
+        return list(state)
+    if isinstance(state, dict):
+        return dict(state)
+    return state
+
+
+def _hashable(value):
+    from .datum import to_text
+
+    if isinstance(value, (dict, list)):
+        return to_text(value)
+    return value

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the repro engine and Citus layer.
+
+The hierarchy mirrors the error classes a PostgreSQL + Citus deployment
+surfaces to clients: syntax errors, catalog errors, runtime/data errors,
+transaction errors (serialization, deadlock), and distributed-planning
+errors raised when a query cannot be supported on distributed tables.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SQLError(ReproError):
+    """Base class for errors surfaced through the SQL interface."""
+
+
+class SyntaxErrorSQL(SQLError):
+    """The query text could not be parsed."""
+
+
+class CatalogError(SQLError):
+    """Unknown or duplicate table, column, index, or function."""
+
+
+class DataError(SQLError):
+    """Bad input value: cast failure, wrong arity, type mismatch."""
+
+
+class IntegrityError(SQLError):
+    """Constraint violation: NOT NULL, UNIQUE / primary key, foreign key."""
+
+
+class UniqueViolation(IntegrityError):
+    """A unique or primary-key constraint was violated."""
+
+
+class NotNullViolation(IntegrityError):
+    """A NOT NULL constraint was violated."""
+
+
+class ForeignKeyViolation(IntegrityError):
+    """A foreign-key constraint was violated."""
+
+
+class TransactionError(SQLError):
+    """Transaction lifecycle misuse or failure."""
+
+
+class InvalidTransactionState(TransactionError):
+    """e.g. COMMIT PREPARED on an unknown gid, nested BEGIN misuse."""
+
+
+class TransactionAborted(TransactionError):
+    """Commands were issued inside an aborted transaction block."""
+
+
+class DeadlockDetected(TransactionError):
+    """A (possibly distributed) deadlock was detected; the txn was chosen as victim."""
+
+
+class LockTimeout(TransactionError):
+    """A lock could not be acquired within the allowed wait."""
+
+
+class QueryCanceled(TransactionError):
+    """The backend received a cancellation (e.g. distributed deadlock victim)."""
+
+
+class ConnectionError_(ReproError):
+    """A (simulated) connection failed: node down, connection limit reached."""
+
+
+class TooManyConnections(ConnectionError_):
+    """The instance's max_connections limit was reached."""
+
+
+class NodeUnavailable(ConnectionError_):
+    """The target node is down or unreachable."""
+
+
+class DistributedPlanningError(SQLError):
+    """The distributed planner cannot support this query shape."""
+
+
+class UnsupportedDistributedQuery(DistributedPlanningError):
+    """Feature not supported on distributed tables (paper: e.g. correlated
+    subqueries on non-co-located tables, 4 of 22 TPC-H queries)."""
+
+
+class MetadataError(ReproError):
+    """Citus metadata inconsistency or misuse (e.g. colocate_with mismatch)."""
+
+
+class RebalanceError(ReproError):
+    """Shard rebalancer could not produce or apply a plan."""
+
+
+class RecoveryError(ReproError):
+    """2PC recovery or restore-point machinery failure."""

@@ -1,0 +1,17 @@
+"""Cluster and network simulation substrate."""
+
+from .clock import SimClock
+from .cluster import Cluster, StandbyConfig
+from .network import Network, NetworkSpec, RemoteConnection
+from .pool import ConnectionPool, PooledClient
+
+__all__ = [
+    "SimClock",
+    "Cluster",
+    "StandbyConfig",
+    "Network",
+    "NetworkSpec",
+    "RemoteConnection",
+    "ConnectionPool",
+    "PooledClient",
+]

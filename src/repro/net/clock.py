@@ -1,0 +1,27 @@
+"""Simulated wall clock shared by all nodes of a cluster.
+
+The engine is single-threaded; "time" is a number that components advance
+explicitly. The adaptive executor charges task latencies here (taking the
+max over concurrent tasks rather than the sum), the slow-start algorithm
+reads it to decide when to open new connections, and background workers use
+it for their intervals.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_ms(self, millis: float) -> float:
+        return self.advance(millis / 1000.0)

@@ -1,0 +1,118 @@
+"""Simulated network: latency accounting and remote connections.
+
+A :class:`RemoteConnection` is what the Citus adaptive executor opens to a
+worker node: it wraps a backend (:class:`~repro.engine.instance.Session`)
+on the target instance and charges network round trips and connection
+establishment to per-connection counters. The executor aggregates those
+counters to compute elapsed simulated time for a distributed query
+(max over parallel connections, sum over sequential statements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.locks import WouldBlock
+from ..errors import NodeUnavailable
+
+
+class RemoteBlocked(WouldBlock):
+    """A statement shipped to a worker is waiting for a lock there.
+
+    Carries the worker-side parked-statement handle; the coordinator parks
+    its own statement and polls the handle instead of re-sending the SQL.
+    """
+
+    def __init__(self, handle, conn):
+        super().__init__(("remote", conn.node_name), set(), "Remote")
+        self.handle = handle
+        self.conn = conn
+
+
+@dataclass
+class NetworkSpec:
+    rtt_ms: float = 0.5  # same-datacenter round trip
+    connection_setup_ms: float = 15.0  # TCP + TLS + auth + fork backend
+    bandwidth_mb_s: float = 1000.0
+
+
+class Network:
+    """Latency model + global traffic counters."""
+
+    def __init__(self, clock, spec: NetworkSpec | None = None):
+        self.clock = clock
+        self.spec = spec or NetworkSpec()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def note_round_trip(self, payload_bytes: int = 256) -> float:
+        """Record one request/response exchange; returns its latency in
+        seconds (not advanced on the clock — callers aggregate)."""
+        self.messages_sent += 1
+        self.bytes_sent += payload_bytes
+        transfer = payload_bytes / (self.spec.bandwidth_mb_s * 1e6)
+        return self.spec.rtt_ms / 1000.0 + transfer
+
+    def connection_setup_cost(self) -> float:
+        return self.spec.connection_setup_ms / 1000.0
+
+
+class RemoteConnection:
+    """A coordinator-to-worker connection (what the executor pools).
+
+    Tracks the transaction block state and which co-located shard group the
+    connection has touched in the current transaction — the assignment
+    invariant of §3.6.1 ("the same connection will be used for any
+    subsequent access to the same set of co-located shards").
+    """
+
+    def __init__(self, node_name: str, session, network: Network):
+        self.node_name = node_name
+        self.session = session
+        self.network = network
+        self.in_txn_block = False
+        self.accessed_groups: set = set()  # (colocation_id, shard_index) pairs
+        self.busy_until = 0.0  # simulated time when current task finishes
+        self.elapsed = 0.0  # total simulated busy time
+        self.round_trips = 0
+        self.closed = False
+
+    def execute(self, sql: str, params=None, payload_bytes: int = 256,
+                allow_block: bool = False):
+        if self.closed:
+            raise NodeUnavailable(f"connection to {self.node_name} is closed")
+        self.round_trips += 1
+        latency = self.network.note_round_trip(payload_bytes)
+        self.elapsed += latency
+        if allow_block:
+            handle = self.session.execute_async(sql, params)
+            if handle.done:
+                return handle.get()
+            raise RemoteBlocked(handle, self)
+        return self.session.execute(sql, params)
+
+    def execute_async(self, sql: str, params=None):
+        self.round_trips += 1
+        self.elapsed += self.network.note_round_trip()
+        return self.session.execute_async(sql, params)
+
+    def copy_rows(self, table: str, rows, columns=None) -> int:
+        count = self.session.copy_rows(table, rows, columns)
+        self.round_trips += 1
+        self.elapsed += self.network.note_round_trip(payload_bytes=64 * max(count, 1))
+        return count
+
+    def begin_if_needed(self) -> None:
+        if not self.in_txn_block:
+            self.execute("BEGIN")
+            self.in_txn_block = True
+
+    def close(self) -> None:
+        if not self.closed:
+            if self.in_txn_block:
+                try:
+                    self.session.rollback()
+                except Exception:
+                    pass
+            self.session.close()
+            self.closed = True

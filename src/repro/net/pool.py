@@ -1,0 +1,94 @@
+"""PgBouncer-style transaction-mode connection pool (§3.2.1).
+
+When every worker acts as a coordinator, each client connection fans out
+into intra-cluster connections; the paper mitigates the resulting
+connection explosion "by setting up connection pooling between the
+instances, via PgBouncer". The pool multiplexes many client handles over a
+bounded set of server sessions, leasing a server session per transaction.
+"""
+
+from __future__ import annotations
+
+from ..errors import TooManyConnections
+
+
+class ConnectionPool:
+    def __init__(self, instance, pool_size: int = 20, max_client_conn: int = 1000):
+        self.instance = instance
+        self.pool_size = pool_size
+        self.max_client_conn = max_client_conn
+        self._idle: list = []
+        self._lease_count = 0
+        self._client_count = 0
+        self.waits = 0  # times a lease had to evict/queue
+        self.peak_leases = 0
+
+    def client(self) -> "PooledClient":
+        if self._client_count >= self.max_client_conn:
+            raise TooManyConnections("pgbouncer: no more client connections allowed")
+        self._client_count += 1
+        return PooledClient(self)
+
+    def _acquire(self):
+        if self._idle:
+            session = self._idle.pop()
+        elif self._lease_count < self.pool_size:
+            session = self.instance.connect("pgbouncer")
+        else:
+            self.waits += 1
+            raise _PoolExhausted()
+        self._lease_count += 1
+        self.peak_leases = max(self.peak_leases, self._lease_count)
+        return session
+
+    def _release(self, session) -> None:
+        self._lease_count -= 1
+        if session.in_transaction:
+            session.rollback()
+        self._idle.append(session)
+
+    def close(self) -> None:
+        for session in self._idle:
+            session.close()
+        self._idle.clear()
+
+
+class _PoolExhausted(TooManyConnections):
+    def __init__(self):
+        super().__init__("pgbouncer: server pool exhausted, transaction queued")
+
+
+class PooledClient:
+    """A client handle: leases a server session per transaction block
+    (transaction pooling mode), or per statement outside a block."""
+
+    def __init__(self, pool: ConnectionPool):
+        self.pool = pool
+        self._leased = None
+
+    def execute(self, sql: str, params=None):
+        session = self._leased
+        transient = False
+        if session is None:
+            session = self.pool._acquire()
+            transient = True
+        try:
+            result = session.execute(sql, params)
+        except Exception:
+            if session.in_transaction:
+                session.rollback()
+            self.pool._release(session)
+            self._leased = None
+            raise
+        if session.in_transaction:
+            self._leased = session
+        else:
+            self._leased = None
+            self.pool._release(session)
+        return result
+
+    def close(self) -> None:
+        if self._leased is not None:
+            self.pool._release(self._leased)
+            self._leased = None
+        self.pool._client_count -= 1

@@ -1,0 +1,7 @@
+"""Calibrated performance model for the paper's benchmark figures."""
+
+from . import calibration, model, sensitivity
+from .resources import ClusterShape, NodeResources, paper_setups, setup_by_name
+
+__all__ = ["model", "calibration", "sensitivity", "ClusterShape", "NodeResources",
+           "paper_setups", "setup_by_name"]

@@ -1,0 +1,94 @@
+"""Hardware resource descriptions for the performance model.
+
+The paper's testbed (§4): Azure VMs with 16 vcpus, 64 GB memory,
+network-attached disks with 7500 IOPS, PostgreSQL 13 + Citus 9.5, one
+driver node. ``ClusterShape`` describes the four benchmark configurations:
+PostgreSQL, Citus 0+1, Citus 4+1, Citus 8+1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GB = 1024**3
+MB = 1024**2
+
+
+@dataclass(frozen=True)
+class NodeResources:
+    cores: int = 16
+    memory_bytes: float = 64 * GB
+    disk_iops: float = 7500.0
+    disk_bandwidth_bytes: float = 200 * MB  # sequential throughput
+    page_bytes: int = 8192
+
+
+@dataclass(frozen=True)
+class NetworkResources:
+    rtt_seconds: float = 0.0005  # same-datacenter round trip
+    bandwidth_bytes: float = 1000 * MB
+
+
+@dataclass(frozen=True)
+class ClusterShape:
+    """A benchmark configuration: how many nodes serve data, whether a
+    distributed layer sits in front, and whether clients fan out."""
+
+    name: str
+    data_nodes: int  # nodes that store shards
+    is_distributed: bool  # Citus planning layer present
+    coordinators: int = 1  # nodes accepting client connections
+    node: NodeResources = field(default_factory=NodeResources)
+    network: NetworkResources = field(default_factory=NetworkResources)
+
+    @property
+    def total_cores(self) -> int:
+        return self.node.cores * self.data_nodes
+
+    @property
+    def total_memory(self) -> float:
+        return self.node.memory_bytes * self.data_nodes
+
+    @property
+    def total_iops(self) -> float:
+        return self.disk_nodes * self.node.disk_iops
+
+    @property
+    def disk_nodes(self) -> int:
+        return self.data_nodes
+
+    @property
+    def total_scan_bandwidth(self) -> float:
+        return self.node.disk_bandwidth_bytes * self.data_nodes
+
+
+def paper_setups() -> list[ClusterShape]:
+    """The four configurations of §4. ``Citus 0+1`` shards locally on one
+    server; ``Citus n+1`` adds n workers behind one coordinator."""
+    return [
+        ClusterShape("PostgreSQL", data_nodes=1, is_distributed=False),
+        ClusterShape("Citus 0+1", data_nodes=1, is_distributed=True),
+        ClusterShape("Citus 4+1", data_nodes=4, is_distributed=True),
+        ClusterShape("Citus 8+1", data_nodes=8, is_distributed=True),
+    ]
+
+
+def setup_by_name(name: str) -> ClusterShape:
+    for shape in paper_setups():
+        if shape.name.lower() == name.lower():
+            return shape
+    raise KeyError(name)
+
+
+def cache_miss_fraction(working_set_bytes: float, memory_bytes: float,
+                        cacheable_fraction: float = 0.85) -> float:
+    """Fraction of page accesses that miss the buffer cache.
+
+    ``cacheable_fraction`` of memory is available for data pages (the rest
+    holds indexes' hot paths, connections, and the OS). Uniform access is
+    assumed, matching YCSB-uniform and TPC-C's warehouse-uniform drivers.
+    """
+    effective = memory_bytes * cacheable_fraction
+    if working_set_bytes <= effective:
+        return 0.0
+    return 1.0 - effective / working_set_bytes

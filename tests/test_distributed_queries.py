@@ -1,0 +1,124 @@
+"""PG-vs-Citus equivalence battery: the same data and queries must produce
+identical results on a single instance and on clusters, including a
+hypothesis-driven randomized comparison."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import PostgresInstance, make_cluster
+
+QUERY_BATTERY = [
+    "SELECT count(*) FROM items",
+    "SELECT sum(price), avg(price), min(price), max(price) FROM items",
+    "SELECT grp, count(*), sum(price) FROM items GROUP BY grp ORDER BY grp",
+    "SELECT grp, avg(price) FROM items GROUP BY grp HAVING count(*) > 2 ORDER BY grp",
+    "SELECT id, price FROM items ORDER BY price DESC, id LIMIT 5",
+    "SELECT id FROM items WHERE price > 50 ORDER BY id",
+    "SELECT DISTINCT grp FROM items ORDER BY grp",
+    "SELECT count(DISTINCT grp) FROM items",
+    "SELECT i.id, c.name FROM items i JOIN cats c ON i.grp = c.cid"
+    " WHERE i.id = 3",
+    "SELECT c.name, count(*) FROM items i JOIN cats c ON i.grp = c.cid"
+    " GROUP BY c.name ORDER BY 2 DESC, c.name",
+    "SELECT grp, count(*) FILTER (WHERE price > 30) FROM items GROUP BY grp"
+    " ORDER BY grp",
+    "SELECT CASE WHEN price > 50 THEN 'high' ELSE 'low' END AS bucket, count(*)"
+    " FROM items GROUP BY CASE WHEN price > 50 THEN 'high' ELSE 'low' END"
+    " ORDER BY bucket",
+    "SELECT id FROM items WHERE id IN (1, 5, 7) ORDER BY id",
+    "SELECT id FROM items WHERE id BETWEEN 3 AND 6 ORDER BY id",
+    "SELECT max(price) - min(price) FROM items",
+    "SELECT sum(price) / count(*) FROM items",
+    "SELECT i.id FROM items i WHERE EXISTS"
+    " (SELECT 1 FROM tags t WHERE t.item_id = i.id) ORDER BY i.id",
+    "SELECT i.id, (SELECT count(*) FROM tags t WHERE t.item_id = i.id)"
+    " FROM items i WHERE i.id = 2",
+    "SELECT t.label, count(*) FROM items i JOIN tags t ON i.id = t.item_id"
+    " GROUP BY t.label ORDER BY t.label",
+    "SELECT grp, sum(price) FROM items WHERE grp IS NOT NULL GROUP BY grp"
+    " ORDER BY sum(price) DESC LIMIT 2",
+]
+
+
+def build(session, distributed):
+    session.execute("CREATE TABLE cats (cid int PRIMARY KEY, name text)")
+    session.execute(
+        "CREATE TABLE items (id int PRIMARY KEY, grp int, price float)"
+    )
+    session.execute(
+        "CREATE TABLE tags (item_id int, label text, PRIMARY KEY (item_id, label))"
+    )
+    if distributed:
+        session.execute("SELECT create_reference_table('cats')")
+        session.execute("SELECT create_distributed_table('items', 'id')")
+        session.execute(
+            "SELECT create_distributed_table('tags', 'item_id', colocate_with := 'items')"
+        )
+    session.copy_rows("cats", [[i, f"cat-{i}"] for i in range(4)])
+    session.copy_rows(
+        "items", [[i, i % 4, float((i * 37) % 100)] for i in range(1, 21)]
+    )
+    session.copy_rows(
+        "tags",
+        [[i, lab] for i in range(1, 21) for lab in (["hot"] if i % 2 else ["cold", "new"])],
+    )
+    return session
+
+
+def norm(rows):
+    return sorted(
+        tuple(round(v, 6) if isinstance(v, float) else str(v) for v in row)
+        for row in rows
+    )
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    pg = build(PostgresInstance("pg").connect(), False)
+    citus = build(make_cluster(2, shard_count=8).coordinator_session(), True)
+    citus0 = build(make_cluster(0, shard_count=4).coordinator_session(), True)
+    return pg, citus, citus0
+
+
+@pytest.mark.parametrize("sql", QUERY_BATTERY, ids=lambda q: q[:44])
+def test_battery_matches_across_deployments(sessions, sql):
+    pg, citus, citus0 = sessions
+    expected = norm(pg.execute(sql).rows)
+    assert norm(citus.execute(sql).rows) == expected
+    assert norm(citus0.execute(sql).rows) == expected
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        keys=st.lists(st.integers(min_value=-1000, max_value=1000),
+                      min_size=1, max_size=30, unique=True),
+        threshold=st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_property_filters_and_aggregates_match(self, keys, threshold):
+        pg = PostgresInstance("pg").connect()
+        citus = make_cluster(2, shard_count=4).coordinator_session()
+        for session, distributed in ((pg, False), (citus, True)):
+            session.execute("CREATE TABLE r (k int PRIMARY KEY, v int)")
+            if distributed:
+                session.execute("SELECT create_distributed_table('r', 'k')")
+            session.copy_rows("r", [[k, k * 3] for k in keys])
+        for sql in (
+            f"SELECT count(*) FROM r WHERE k > {threshold}",
+            f"SELECT sum(v) FROM r WHERE k <= {threshold}",
+            "SELECT count(*), sum(v), min(k), max(k) FROM r",
+        ):
+            assert norm(pg.execute(sql).rows) == norm(citus.execute(sql).rows)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(key=st.integers(min_value=-10_000, max_value=10_000))
+    def test_property_point_lookup_routes_correctly(self, key):
+        citus = make_cluster(2, shard_count=8).coordinator_session()
+        citus.execute("CREATE TABLE r (k int PRIMARY KEY, v int)")
+        citus.execute("SELECT create_distributed_table('r', 'k')")
+        citus.execute("INSERT INTO r VALUES ($1, $2)", [key, key * 7])
+        assert citus.execute("SELECT v FROM r WHERE k = $1", [key]).scalar() == key * 7
+        assert citus.execute("SELECT count(*) FROM r").scalar() == 1

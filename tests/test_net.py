@@ -1,0 +1,101 @@
+"""Unit tests for the cluster/network substrate: clock, latency accounting,
+node lifecycle, remote connections."""
+
+import pytest
+
+from repro.engine import InstanceSpec
+from repro.errors import NodeUnavailable
+from repro.net import Cluster, NetworkSpec, SimClock
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance_ms(500)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+
+class TestNetworkAccounting:
+    def test_round_trip_latency_and_counters(self):
+        cluster = Cluster(network_spec=NetworkSpec(rtt_ms=2.0))
+        latency = cluster.network.note_round_trip(payload_bytes=1000)
+        assert latency >= 0.002
+        assert cluster.network.messages_sent == 1
+        assert cluster.network.bytes_sent == 1000
+
+    def test_connection_setup_cost(self):
+        cluster = Cluster(network_spec=NetworkSpec(connection_setup_ms=15))
+        assert cluster.network.connection_setup_cost() == pytest.approx(0.015)
+
+
+class TestClusterLifecycle:
+    def test_add_and_connect(self):
+        cluster = Cluster()
+        cluster.add_node("n1")
+        conn = cluster.connect("n1")
+        assert conn.execute("SELECT 1").scalar() == 1
+        assert conn.round_trips == 1
+
+    def test_duplicate_node_rejected(self):
+        cluster = Cluster()
+        cluster.add_node("n1")
+        with pytest.raises(ValueError):
+            cluster.add_node("n1")
+
+    def test_unknown_node(self):
+        with pytest.raises(NodeUnavailable):
+            Cluster().node("ghost")
+
+    def test_nodes_share_clock(self):
+        cluster = Cluster()
+        a = cluster.add_node("a")
+        b = cluster.add_node("b")
+        cluster.clock.advance(5)
+        assert a.now() == b.now() == 5.0
+
+    def test_custom_spec_per_node(self):
+        cluster = Cluster()
+        node = cluster.add_node("big", InstanceSpec(cores=64, memory_gb=256))
+        assert node.spec.cores == 64
+
+    def test_total_memory(self):
+        cluster = Cluster(spec=InstanceSpec(memory_gb=64))
+        cluster.add_node("a")
+        cluster.add_node("b")
+        assert cluster.total_memory_gb() == 128
+
+
+class TestRemoteConnection:
+    def test_close_rolls_back_open_txn(self):
+        cluster = Cluster()
+        node = cluster.add_node("n1")
+        setup = node.connect()
+        setup.execute("CREATE TABLE t (a int)")
+        conn = cluster.connect("n1")
+        conn.execute("BEGIN")
+        conn.in_txn_block = True
+        conn.execute("INSERT INTO t VALUES (1)")
+        conn.close()
+        assert setup.execute("SELECT count(*) FROM t").scalar() == 0
+
+    def test_execute_after_close_rejected(self):
+        cluster = Cluster()
+        cluster.add_node("n1")
+        conn = cluster.connect("n1")
+        conn.close()
+        with pytest.raises(NodeUnavailable):
+            conn.execute("SELECT 1")
+
+    def test_elapsed_accumulates(self):
+        cluster = Cluster(network_spec=NetworkSpec(rtt_ms=1.0))
+        cluster.add_node("n1")
+        conn = cluster.connect("n1")
+        conn.execute("SELECT 1")
+        conn.execute("SELECT 2")
+        assert conn.elapsed >= 0.002

@@ -1,0 +1,139 @@
+"""Performance model tests: every figure's *shape* must match the paper's
+qualitative claims (who wins, by roughly what factor, where it flattens)."""
+
+import pytest
+
+from repro.perf import model, paper_setups
+from repro.perf.resources import cache_miss_fraction
+
+
+def by_name(rows):
+    return {r.setup: r for r in rows}
+
+
+class TestResources:
+    def test_paper_setups_shapes(self):
+        names = [s.name for s in paper_setups()]
+        assert names == ["PostgreSQL", "Citus 0+1", "Citus 4+1", "Citus 8+1"]
+        shapes = {s.name: s for s in paper_setups()}
+        assert shapes["Citus 4+1"].total_cores == 64
+        assert shapes["Citus 8+1"].total_iops == 8 * 7500
+
+    def test_cache_miss_fraction(self):
+        gb = 1024**3
+        assert cache_miss_fraction(10 * gb, 64 * gb) == 0.0
+        assert 0.0 < cache_miss_fraction(100 * gb, 64 * gb) < 1.0
+        assert cache_miss_fraction(100 * gb, 256 * gb) == 0.0
+
+
+class TestFigure6Tpcc:
+    def test_shape(self):
+        rows = by_name(model.figure6())
+        pg = rows["PostgreSQL"].value
+        # Paper: 0+1 slightly slower than PG (planning overhead).
+        assert 0.9 * pg <= rows["Citus 0+1"].value < pg
+        # Paper: 4+1 ≈ 13x PG because the working set fits in memory.
+        assert 10 <= rows["Citus 4+1"].value / pg <= 16
+        # Paper: 4→8 is sublinear (cross-node txn latency doesn't shrink).
+        ratio_8_over_4 = rows["Citus 8+1"].value / rows["Citus 4+1"].value
+        assert 1.2 <= ratio_8_over_4 < 2.0
+
+    def test_single_server_is_io_bound(self):
+        rows = by_name(model.figure6())
+        assert rows["PostgreSQL"].bottleneck == "disk I/O"
+
+    def test_response_time_drops_with_memory_fit(self):
+        rows = by_name(model.figure6())
+        assert rows["Citus 4+1"].response_time_ms < rows["PostgreSQL"].response_time_ms / 5
+
+
+class TestFigure7RealTime:
+    def test_copy_shape(self):
+        rows = by_name(model.figure7()["copy"])
+        # Lower is better (seconds). PG slowest; 0+1 faster; 4+1 faster
+        # still; 8+1 equal to 4+1 (single COPY is coordinator-bound).
+        assert rows["Citus 0+1"].value < rows["PostgreSQL"].value
+        assert rows["Citus 4+1"].value < rows["Citus 0+1"].value
+        assert rows["Citus 8+1"].value == pytest.approx(rows["Citus 4+1"].value)
+
+    def test_dashboard_scales_with_cores(self):
+        rows = by_name(model.figure7()["dashboard"])
+        assert rows["Citus 0+1"].value < rows["PostgreSQL"].value
+        ratio = rows["Citus 4+1"].value / rows["Citus 8+1"].value
+        assert 1.8 <= ratio <= 2.2  # CPU-bound: 2x cores → ~2x faster
+
+    def test_insert_select_96_percent_reduction(self):
+        rows = by_name(model.figure7()["insert_select"])
+        reduction = 1 - rows["Citus 8+1"].value / rows["PostgreSQL"].value
+        assert reduction >= 0.93  # paper: 96%
+
+
+class TestFigure8Tpch:
+    def test_two_orders_of_magnitude(self):
+        rows = by_name(model.figure8())
+        speedup = rows["Citus 8+1"].value / rows["PostgreSQL"].value
+        assert speedup >= 80  # "two orders of magnitude"
+
+    def test_monotone_scaling(self):
+        rows = model.figure8()
+        values = [r.value for r in rows]
+        assert values == sorted(values)
+
+    def test_cluster_is_cpu_bound(self):
+        rows = by_name(model.figure8())
+        assert rows["Citus 8+1"].bottleneck == "CPU"
+
+
+class TestFigure9TwoPhaseCommit:
+    def test_penalty_between_15_and_40_percent(self):
+        rows = model.figure9()
+        pairs = {}
+        for row in rows:
+            name, kind = row.setup.rsplit(" (", 1)
+            pairs.setdefault(name, {})[kind.rstrip(")")] = row.value
+        for name, modes in pairs.items():
+            if name == "Citus 0+1":
+                continue  # single node: no 2PC possible
+            penalty = 1 - modes["different keys"] / modes["same key"]
+            assert 0.15 <= penalty <= 0.40, (name, penalty)
+
+    def test_both_modes_scale_with_workers(self):
+        rows = {r.setup: r.value for r in model.figure9()}
+        assert rows["Citus 8+1 (same key)"] > rows["Citus 4+1 (same key)"]
+        assert rows["Citus 8+1 (different keys)"] > rows["Citus 4+1 (different keys)"]
+
+    def test_single_node_has_no_penalty(self):
+        rows = {r.setup: r.value for r in model.figure9()}
+        assert rows["Citus 0+1 (same key)"] == rows["Citus 0+1 (different keys)"]
+
+
+class TestFigure10Ycsb:
+    def test_single_node_citus_slightly_worse(self):
+        rows = by_name(model.figure10())
+        assert 0.9 <= rows["Citus 0+1"].value / rows["PostgreSQL"].value < 1.0
+
+    def test_linear_io_scaling(self):
+        rows = by_name(model.figure10())
+        ratio = rows["Citus 8+1"].value / rows["Citus 4+1"].value
+        assert 1.8 <= ratio <= 2.2
+
+    def test_io_bound_everywhere(self):
+        for row in model.figure10():
+            assert row.bottleneck == "disk I/O"
+
+    def test_4_1_speedup_exceeds_node_ratio(self):
+        # "small additional speed up due to data fitting in memory"
+        rows = by_name(model.figure10())
+        assert rows["Citus 4+1"].value / rows["PostgreSQL"].value > 4.0
+
+
+class TestReporting:
+    def test_format_table_contains_all_setups(self):
+        text = model.format_table(model.figure6(), "NOPM", "new orders/min")
+        for name in ("PostgreSQL", "Citus 0+1", "Citus 4+1", "Citus 8+1"):
+            assert name in text
+
+    def test_speedup_helper(self):
+        speedups = model.speedup_over_postgres(model.figure8())
+        assert speedups["PostgreSQL"] == 1.0
+        assert speedups["Citus 8+1"] > speedups["Citus 4+1"]

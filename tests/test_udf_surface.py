@@ -1,0 +1,81 @@
+"""The Citus UDF management surface: sizes, config, worker commands,
+distributed DROP INDEX, and the named-argument convention."""
+
+import pytest
+
+from repro.errors import MetadataError
+
+
+@pytest.fixture
+def s(citus, citus_session):
+    s = citus_session
+    s.execute("CREATE TABLE t (k int PRIMARY KEY, payload text)")
+    s.execute("SELECT create_distributed_table('t', 'k')")
+    s.copy_rows("t", [[i, "x" * 50] for i in range(60)])
+    return s
+
+
+class TestSizeAndConfig:
+    def test_citus_table_size_counts_shard_bytes(self, citus, s):
+        size = s.execute("SELECT citus_table_size('t')").scalar()
+        assert size > 60 * 50  # at least the payload bytes
+
+    def test_citus_set_config_changes_guc(self, citus, s):
+        s.execute("SELECT citus_set_config('shard_count', 16)")
+        assert citus.coordinator_ext.config.shard_count == 16
+        s.execute("CREATE TABLE t2 (k int PRIMARY KEY)")
+        s.execute("SELECT create_distributed_table('t2', 'k', colocate_with := 'none')")
+        assert citus.coordinator_ext.metadata.cache.get_table("t2").shard_count == 16
+
+    def test_unknown_config_rejected(self, s):
+        with pytest.raises(MetadataError):
+            s.execute("SELECT citus_set_config('nonsense', 1)")
+
+
+class TestRunCommandOnWorkers:
+    def test_command_runs_everywhere(self, citus, s):
+        results = s.execute(
+            "SELECT run_command_on_workers('CREATE TABLE wtab (a int)')"
+        ).scalar()
+        assert all(r.endswith("OK") for r in results)
+        for name in citus.worker_names():
+            assert citus.cluster.node(name).catalog.has_table("wtab")
+
+    def test_errors_reported_per_node(self, citus, s):
+        s.execute("SELECT run_command_on_workers('CREATE TABLE dup (a int)')")
+        results = s.execute(
+            "SELECT run_command_on_workers('CREATE TABLE dup (a int)')"
+        ).scalar()
+        assert all("ERROR" in r for r in results)
+
+
+class TestDistributedDropIndex:
+    def test_drop_index_propagates(self, citus, s):
+        s.execute("CREATE INDEX t_payload_idx ON t (payload)")
+        ext = citus.coordinator_ext
+        dist = ext.metadata.cache.get_table("t")
+        shard = dist.shards[0]
+        node = ext.metadata.cache.placement_node(shard.shardid)
+        shard_table = citus.cluster.node(node).catalog.get_table(shard.shard_name)
+        assert any("t_payload_idx" in n for n in shard_table.indexes)
+        s.execute("DROP INDEX t_payload_idx")
+        assert not any("t_payload_idx" in n for n in shard_table.indexes)
+        shell = citus.coordinator.catalog.get_table("t")
+        assert "t_payload_idx" not in shell.indexes
+
+
+class TestNamedArguments:
+    def test_positional_and_named_mix(self, citus, s):
+        s.execute("CREATE TABLE nm (k int PRIMARY KEY)")
+        s.execute(
+            "SELECT create_distributed_table('nm', 'k', shard_count := 4,"
+            " colocate_with := 'none')"
+        )
+        assert citus.coordinator_ext.metadata.cache.get_table("nm").shard_count == 4
+
+
+class TestAddNodeIdempotent:
+    def test_duplicate_add_node_is_noop(self, citus, s):
+        before = list(citus.coordinator_ext.metadata.cache.nodes)
+        s.execute("SELECT citus_add_node('worker1')")
+        assert citus.coordinator_ext.metadata.cache.nodes == before

@@ -1,0 +1,182 @@
+"""Workload equivalence tests: every paper workload must produce identical
+results on single PostgreSQL and on Citus clusters of different sizes —
+the functional core of the benchmark reproduction."""
+
+import pytest
+
+from repro import PostgresInstance, make_cluster
+from repro.workloads import gharchive, pgbench, tpcc, tpch, ycsb
+
+
+def pg_session():
+    return PostgresInstance("pg").connect()
+
+
+def norm(rows):
+    return [
+        tuple(round(v, 4) if isinstance(v, float) else str(v) for v in row)
+        for row in rows
+    ]
+
+
+class TestTpcc:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_state_matches_postgres(self, workers):
+        cfg = tpcc.TpccConfig(warehouses=4, items=15)
+
+        def run(session, distributed):
+            tpcc.create_schema(session, distributed=distributed)
+            tpcc.load_data(session, cfg)
+            driver = tpcc.TpccDriver(session, cfg)
+            driver.run(50)
+            return tpcc.consistency_totals(session), driver.stats
+
+        pg_state, pg_stats = run(pg_session(), False)
+        citus = make_cluster(workers=workers, shard_count=8)
+        citus_state, citus_stats = run(citus.coordinator_session(), True)
+        assert pg_state == citus_state
+        assert pg_stats.total == citus_stats.total
+
+    def test_balance_invariant(self):
+        # Payments move money: sum(balance) == -sum(ytd receipts).
+        cfg = tpcc.TpccConfig(warehouses=3, items=10)
+        citus = make_cluster(workers=2, shard_count=8)
+        s = citus.coordinator_session()
+        tpcc.create_schema(s)
+        tpcc.load_data(s, cfg)
+        tpcc.TpccDriver(s, cfg).run(60)
+        totals = tpcc.consistency_totals(s)
+        w_ytd = s.execute("SELECT coalesce(sum(w_ytd), 0) FROM warehouse").scalar()
+        d_ytd = s.execute("SELECT coalesce(sum(d_ytd), 0) FROM district").scalar()
+        # Every payment adds its amount to both warehouse and district YTD
+        # and subtracts it once from a customer balance.
+        assert w_ytd == pytest.approx(d_ytd, abs=0.1)
+        assert totals["balance"] == pytest.approx(-w_ytd, abs=0.1)
+
+    def test_cross_warehouse_transactions_occur(self):
+        cfg = tpcc.TpccConfig(warehouses=4, items=15, cross_warehouse_fraction=0.5)
+        citus = make_cluster(workers=2, shard_count=8)
+        s = citus.coordinator_session()
+        tpcc.create_schema(s)
+        tpcc.load_data(s, cfg)
+        tpcc.TpccDriver(s, cfg).run(40)
+        assert s.stats.get("citus_2pc_commits", 0) > 0
+
+
+class TestYcsb:
+    def test_results_match_postgres(self):
+        cfg = ycsb.YcsbConfig(records=150)
+        outcomes = []
+        for distributed in (False, True):
+            session = (
+                make_cluster(2, shard_count=8).coordinator_session()
+                if distributed
+                else pg_session()
+            )
+            ycsb.create_schema(session, distributed=distributed)
+            ycsb.load_data(session, cfg)
+            driver = ycsb.YcsbDriver(session, cfg)
+            stats = driver.run(120)
+            digest = session.execute(
+                "SELECT count(*), min(ycsb_key), max(ycsb_key) FROM usertable"
+            ).first()
+            outcomes.append((stats.reads, stats.updates, stats.read_misses, digest))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][2] == 0  # no misses: all keys exist
+
+    def test_multi_coordinator_run(self):
+        citus = make_cluster(2, shard_count=8)
+        cfg = ycsb.YcsbConfig(records=100)
+        s = citus.coordinator_session()
+        ycsb.create_schema(s)
+        ycsb.load_data(s, cfg)
+        citus.enable_metadata_sync()
+        sessions = [citus.session_on(n) for n in citus.worker_names()]
+        stats = ycsb.YcsbDriver(sessions, cfg).run(80)
+        assert stats.operations == 80 and stats.read_misses == 0
+
+
+class TestTpch:
+    def test_all_supported_queries_match(self):
+        cfg = tpch.TpchConfig(orders=80)
+        results = {}
+        for label, distributed in (("pg", False), ("citus", True)):
+            session = (
+                make_cluster(2, shard_count=8).coordinator_session()
+                if distributed
+                else pg_session()
+            )
+            tpch.create_schema(session, distributed=distributed)
+            tpch.load_data(session, cfg)
+            results[label] = tpch.run_query_set(session)
+        for name in tpch.QUERIES:
+            assert norm(results["pg"][name]) == norm(results["citus"][name]), name
+
+    def test_unsupported_queries_documented(self):
+        # The paper reports 4/22 unsupported in Citus; our dialect gap list
+        # plus supported set must cover all 22 (Q21 is covered as a lite
+        # variant).
+        covered = {q.rstrip("_lite").split("_")[0] for q in tpch.QUERIES}
+        assert len(covered) + len(tpch.UNSUPPORTED_QUERIES) == 22
+
+
+class TestGharchive:
+    def test_dashboard_and_rollup_match_ground_truth(self):
+        cfg = gharchive.ArchiveConfig(events=250)
+        for distributed in (False, True):
+            session = (
+                make_cluster(2, shard_count=8).coordinator_session()
+                if distributed
+                else pg_session()
+            )
+            gharchive.create_schema(session, distributed=distributed)
+            loaded = gharchive.load_events(session, cfg)
+            assert loaded == cfg.events
+            dash = session.execute(gharchive.DASHBOARD_QUERY).rows
+            mentions = sum(r[1] for r in dash)
+            assert mentions == gharchive.expected_postgres_mentions(cfg)
+            rollup = session.execute(gharchive.TRANSFORM_QUERY)
+            pushes = session.execute(
+                "SELECT count(*) FROM github_events WHERE data->>'type' = 'PushEvent'"
+            ).scalar()
+            assert rollup.rowcount == pushes
+
+    def test_generator_is_deterministic(self):
+        cfg = gharchive.ArchiveConfig(events=50)
+        a = list(gharchive.generate_events(cfg))
+        b = list(gharchive.generate_events(cfg))
+        assert a == b
+
+
+class TestPgbench:
+    @pytest.mark.parametrize("same_key", [True, False])
+    def test_invariant_holds(self, same_key):
+        citus = make_cluster(2, shard_count=8)
+        s = citus.coordinator_session()
+        cfg = pgbench.PgbenchConfig(rows=40)
+        pgbench.create_schema(s)
+        pgbench.load_data(s, cfg)
+        s.stats.clear()  # loading itself commits via 2PC
+        driver = pgbench.PgbenchDriver(s, cfg, same_key=same_key)
+        driver.run(50)
+        assert pgbench.invariant_sum(s) == 0
+        if same_key:
+            assert s.stats.get("citus_2pc_commits", 0) == 0
+        else:
+            assert s.stats.get("citus_2pc_commits", 0) > 0
+
+    def test_matches_single_postgres(self):
+        cfg = pgbench.PgbenchConfig(rows=30)
+        sums = []
+        for distributed in (False, True):
+            session = (
+                make_cluster(2, shard_count=8).coordinator_session()
+                if distributed
+                else pg_session()
+            )
+            pgbench.create_schema(session, distributed=distributed)
+            pgbench.load_data(session, cfg)
+            pgbench.PgbenchDriver(session, cfg, same_key=False).run(40)
+            rows = session.execute("SELECT key, v FROM a1 ORDER BY key").rows
+            sums.append(norm(rows))
+        assert sums[0] == sums[1]
