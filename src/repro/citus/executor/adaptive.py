@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...engine.locks import WouldBlock
 from ...errors import NodeUnavailable
 from .placement import SessionPools
 
@@ -35,6 +36,7 @@ class ExecutionReport:
     task_count: int = 0
     connections_used: int = 0
     connections_opened: int = 0
+    connections_reused: int = 0
     elapsed: float = 0.0
     per_node_connections: dict = field(default_factory=dict)
 
@@ -51,6 +53,8 @@ class AdaptiveExecutor:
         """Run tasks, return a list of QueryResults aligned with tasks."""
         pools = SessionPools.for_session(session, self.ext)
         report = ExecutionReport(task_count=len(tasks))
+        counters = self.ext.stat_counters
+        counters.incr("executor_statements")
         need_txn_block = is_write and (session.in_transaction or _multi_group(tasks))
         if session.in_transaction:
             need_txn_block = True
@@ -61,12 +65,13 @@ class AdaptiveExecutor:
             by_node.setdefault(task.node, []).append(i)
 
         node_elapsed = []
-        for node, indexes in by_node.items():
-            elapsed = self._run_node_tasks(
-                session, pools, node, [(i, tasks[i]) for i in indexes], results,
-                need_txn_block, report, is_write,
-            )
-            node_elapsed.append(elapsed)
+        with counters.track("executor_statements_in_flight"):
+            for node, indexes in by_node.items():
+                elapsed = self._run_node_tasks(
+                    session, pools, node, [(i, tasks[i]) for i in indexes], results,
+                    need_txn_block, report, is_write,
+                )
+                node_elapsed.append(elapsed)
         report.elapsed = max(node_elapsed, default=0.0)
         if self.ext.cluster is not None:
             self.ext.cluster.clock.advance(report.elapsed)
@@ -98,8 +103,11 @@ class AdaptiveExecutor:
                 general.append((i, task))
 
         # Phase 2: timeline simulation with slow start for the general pool.
+        counters = self.ext.stat_counters
         existing = pools.idle_connections(node)
         conns = list(existing)
+        preexisting = {id(c) for c in conns} | set(assigned)
+        used_conn_ids: set[int] = set()
         opened_this_statement = 0
         busy: dict[int, float] = {id(c): 0.0 for c in conns}
 
@@ -118,6 +126,7 @@ class AdaptiveExecutor:
             busy[id(conn)] = now + self.ext.cluster.network.connection_setup_cost()
             opened_this_statement += 1
             report.connections_opened += 1
+            counters.incr("connections_opened", node=node)
             return conn
 
         # Lock waits may only suspend single-task statements (router / fast
@@ -131,6 +140,7 @@ class AdaptiveExecutor:
                 cost = self._execute_on(session, conn, task, results, i,
                                         need_txn_block, allow_block, is_write)
                 busy[id(conn)] = start + cost
+                used_conn_ids.add(id(conn))
                 if id(conn) not in [id(c) for c in conns]:
                     conns.append(conn)
 
@@ -158,11 +168,36 @@ class AdaptiveExecutor:
             cost = self._execute_on(session, conn, task, results, i,
                                     need_txn_block, allow_block, is_write)
             busy[id(conn)] = now + cost
+            used_conn_ids.add(id(conn))
         report.per_node_connections[node] = len(conns)
+        reused = len(used_conn_ids & preexisting)
+        if reused:
+            report.connections_reused += reused
+            counters.incr("connections_reused", reused, node=node)
         return max(busy.values(), default=0.0)
 
     def _execute_on(self, session, conn, task, results, i, need_txn_block,
                     allow_block=False, is_write=False) -> float:
+        # The in-flight gauge is held via track() so that a failing task
+        # (node crash, lock timeout, SQL error) can never leave it stuck.
+        counters = self.ext.stat_counters
+        with counters.track("tasks_in_flight", node=conn.node_name):
+            try:
+                cost = self._execute_task(session, conn, task, results, i,
+                                          need_txn_block, allow_block, is_write)
+            except WouldBlock:
+                # Lock wait: the statement parks and retries wholesale —
+                # an executor suspension, not a task failure.
+                counters.incr("tasks_blocked", node=conn.node_name)
+                raise
+            except Exception:
+                counters.incr("tasks_failed", node=conn.node_name)
+                raise
+        counters.incr("tasks_executed", node=conn.node_name)
+        return cost
+
+    def _execute_task(self, session, conn, task, results, i, need_txn_block,
+                      allow_block=False, is_write=False) -> float:
         if need_txn_block:
             conn.begin_if_needed()
             session.remote_txns[id(conn)] = conn

@@ -46,6 +46,12 @@ class SessionPools:
                 alive.append(conn)
             elif not conn.closed:
                 conn.closed = True  # drop zombies from the pool
+                # The zombie still holds a shared-pool slot and an entry in
+                # the active-connection gauge; release both, or a crashed
+                # node permanently shrinks max_shared_pool_size.
+                self.ext.release_shared_slot(node)
+                self.ext.stat_counters.gauge_decr("connections_active", node=node)
+                self.ext.stat_counters.incr("connections_dropped", node=node)
         return alive
 
     def connection_for_group(self, node: str, shard_group) -> RemoteConnection | None:
@@ -61,6 +67,7 @@ class SessionPools:
     def open_connection(self, node: str) -> RemoteConnection:
         conn = self.ext.cluster.connect(node, application_name="citus")
         self.by_node.setdefault(node, []).append(conn)
+        self.ext.stat_counters.gauge_incr("connections_active", node=node)
         return conn
 
     def all_connections(self) -> list[RemoteConnection]:
@@ -85,4 +92,7 @@ class SessionPools:
                 if not conn.closed:
                     conn.close()
                     self.ext.release_shared_slot(conn.node_name)
+                    self.ext.stat_counters.gauge_decr(
+                        "connections_active", node=conn.node_name
+                    )
         self.by_node.clear()

@@ -15,6 +15,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..engine.catalog import Procedure
+from ..engine.stats import StatsRegistry, stats_for
 from ..errors import MetadataError, ReproError
 from ..sql import ast as A
 from .ddl import DistributedDDL
@@ -83,6 +84,14 @@ class CitusExtension:
 
     # ------------------------------------------------------------ helpers
 
+    @property
+    def stat_counters(self) -> StatsRegistry:
+        """The cluster-wide stats registry (``citus_stat_*``): one registry
+        per cluster, shared by every node's extension, so counters reflect
+        the whole cluster regardless of which node incremented them."""
+        holder = self.cluster if self.cluster is not None else self
+        return stats_for(holder)
+
     def all_node_names(self) -> list[str]:
         nodes = list(self.metadata.cache.nodes)
         if not nodes:
@@ -119,13 +128,16 @@ class CitusExtension:
     def try_reserve_shared_slot(self, node: str, force: bool = False) -> bool:
         if not force and self._shared_slots[node] >= self.config.max_shared_pool_size:
             self.stats["shared_pool_throttled"] += 1
+            self.stat_counters.incr("shared_pool_throttled", node=node)
             return False
         self._shared_slots[node] += 1
+        self.stat_counters.gauge_incr("shared_pool_slots", node=node)
         return True
 
     def release_shared_slot(self, node: str) -> None:
         if self._shared_slots[node] > 0:
             self._shared_slots[node] -= 1
+            self.stat_counters.gauge_decr("shared_pool_slots", node=node)
 
     def table_size_estimate(self, table_name: str) -> int:
         """Total bytes across a Citus table's shards (catalog introspection
@@ -190,6 +202,7 @@ class CitusExtension:
     def run_maintenance(self) -> dict:
         """One maintenance-daemon cycle: 2PC recovery + distributed
         deadlock detection (§3.1's background worker)."""
+        self.stat_counters.incr("maintenance_cycles")
         recovered = recover_prepared_transactions(self)
         cancelled = detect_distributed_deadlocks(self)
         return {"recovery": recovered, "deadlocks_cancelled": cancelled}
@@ -379,6 +392,27 @@ def _register_udfs(ext: CitusExtension) -> None:
         set_access_method(ext, session, table_name, method)
         return table_name
 
+    def citus_stat_counters(session, *rest):
+        """Rows of the citus_stat_counters view: [name, node, value] for
+        every cluster-wide counter and gauge."""
+        out = []
+        snap = ext.stat_counters.snapshot()
+        for kind in (snap.counters, snap.gauges):
+            for name in sorted(kind):
+                for node, value in sorted(kind[name].items()):
+                    out.append([name, node or None, value])
+        return out
+
+    def citus_stat_reset(session):
+        ext.stat_counters.reset()
+        return True
+
+    def citus_explain(session, sql, *rest):
+        """Text form of the structured distributed EXPLAIN."""
+        from .observability import explain as dist_explain
+
+        return dist_explain(session, sql).as_text()
+
     registry = {
         "citus_add_node": citus_add_node,
         "master_add_node": citus_add_node,
@@ -401,6 +435,9 @@ def _register_udfs(ext: CitusExtension) -> None:
         "citus_tables": citus_tables,
         "citus_set_config": citus_set_config,
         "alter_table_set_access_method": alter_table_set_access_method,
+        "citus_stat_counters": citus_stat_counters,
+        "citus_stat_counters_reset": citus_stat_reset,
+        "citus_explain": citus_explain,
     }
     for name, fn in registry.items():
         catalog.register_function(name, fn)

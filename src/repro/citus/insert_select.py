@@ -94,6 +94,8 @@ class PushdownInsertSelectPlan(CitusPlan):
     """Strategy 1: INSERT INTO dest_shard SELECT ... FROM src_shard, one
     task per co-located shard pair, fully parallel."""
 
+    tier = "insert_select"
+
     def __init__(self, ext, stmt, params, dest, analysis):
         super().__init__(ext)
         self.stmt = stmt
@@ -119,11 +121,32 @@ class PushdownInsertSelectPlan(CitusPlan):
     def explain_lines(self):
         return self._explain_header(len(self.dest.shards), "Insert..Select (co-located)")
 
+    def explain_info(self):
+        cache = self.ext.metadata.cache
+        tasks = [
+            Task(cache.placement_node(shard.shardid),
+                 task_sql_for_shard(self.stmt, cache, index),
+                 shard_group=(self.dest.colocation_id, index), returns_rows=False)
+            for index, shard in enumerate(self.dest.shards)
+        ]
+        return {
+            "tier": self.tier,
+            "planner": "Insert..Select (co-located)",
+            "tasks": tasks,
+            "total_shard_count": len(self.dest.shards),
+            "pruned_shard_count": 0,
+            "is_write": True,
+            "pushed_down": ["INSERT..SELECT (per shard pair)"],
+            "subplan": {"strategy": "pushdown", "destination": self.dest.name},
+        }
+
 
 class RepartitionInsertSelectPlan(CitusPlan):
     """Strategy 2: distributed SELECT whose per-shard results are re-routed
     by the destination's distribution column, without a coordinator merge
     of the query itself."""
+
+    tier = "insert_select"
 
     def __init__(self, ext, stmt, params, dest):
         super().__init__(ext)
@@ -144,10 +167,25 @@ class RepartitionInsertSelectPlan(CitusPlan):
     def explain_lines(self):
         return self._explain_header(len(self.dest.shards), "Insert..Select (repartition)")
 
+    def explain_info(self):
+        return {
+            "tier": self.tier,
+            "planner": "Insert..Select (repartition)",
+            "tasks": [],
+            "task_count": len(self.dest.shards),
+            "total_shard_count": len(self.dest.shards),
+            "is_write": True,
+            "pushed_down": ["SELECT (distributed)"],
+            "coordinator": ["ROW RE-ROUTING"],
+            "subplan": {"strategy": "repartition", "destination": self.dest.name},
+        }
+
 
 class CoordinatorInsertSelectPlan(CitusPlan):
     """Strategy 3: distributed SELECT with merge on the coordinator, then
     COPY-style distribution into the destination."""
+
+    tier = "insert_select"
 
     def __init__(self, ext, stmt, params, local_dest: bool = False):
         super().__init__(ext)
@@ -179,3 +217,14 @@ class CoordinatorInsertSelectPlan(CitusPlan):
 
     def explain_lines(self):
         return self._explain_header(1, "Insert..Select (via coordinator)")
+
+    def explain_info(self):
+        return {
+            "tier": self.tier,
+            "planner": "Insert..Select (via coordinator)",
+            "tasks": [],
+            "task_count": 1,
+            "is_write": True,
+            "coordinator": ["SELECT MERGE", "ROW DISTRIBUTION"],
+            "subplan": {"strategy": "coordinator", "destination": self.stmt.table},
+        }

@@ -1,0 +1,219 @@
+"""Distributed EXPLAIN: structured plan introspection (the observability
+half of ``pg_stat_statements`` + ``EXPLAIN`` for the Citus layer).
+
+``explain(session, sql)`` plans a statement through the installed planner
+hooks **without executing it** and returns a :class:`DistributedExplain`
+recording the optimizer's decisions:
+
+- which planner tier of the §3.5 cascade fired (``fast_path`` / ``router``
+  / ``pushdown`` / ``join_order``, plus the DML-specific tiers),
+- pruned vs. total shard count,
+- every task's target node and rewritten shard SQL,
+- which clauses were pushed down to the workers vs. evaluated on the
+  coordinator (the merge step),
+- for multi-stage plans, the repartition/subplan structure and the
+  coordinator-side merge query.
+
+The result renders both as a plain dict (``as_dict()``, for asserting in
+tests) and as a pg-style text tree (``as_text()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sql import ast as A
+from ..sql import parse
+
+#: Tiers of the paper's §3.5 planner cascade, lowest overhead first.
+PLANNER_TIERS = ("fast_path", "router", "pushdown", "join_order")
+
+
+@dataclass
+class TaskTarget:
+    """One task of a distributed plan: where it runs and what it runs."""
+
+    node: str
+    sql: str | None = None
+    shard_group: tuple | None = None
+
+    def as_dict(self) -> dict:
+        return {"node": self.node, "sql": self.sql, "shard_group": self.shard_group}
+
+
+@dataclass
+class DistributedExplain:
+    """Structured record of one planning decision."""
+
+    sql: str
+    tier: str  # fast_path | router | pushdown | join_order | ...
+    planner: str  # display label, e.g. "Fast Path Router"
+    task_count: int
+    tasks: list[TaskTarget] = field(default_factory=list)
+    total_shard_count: int | None = None  # shards of the anchor colocation group
+    pruned_shard_count: int | None = None  # total - shards actually targeted
+    pushed_down: list[str] = field(default_factory=list)
+    coordinator: list[str] = field(default_factory=list)
+    merge_query: str | None = None  # coordinator-side query over intermediates
+    subplan: dict | None = None  # repartition / insert..select structure
+    is_write: bool = False
+    local_plan: list[str] = field(default_factory=list)  # tier == "local" only
+
+    # ------------------------------------------------------------ reading
+
+    @property
+    def nodes(self) -> list[str]:
+        """Distinct target nodes, sorted."""
+        return sorted({t.node for t in self.tasks})
+
+    @property
+    def distributed(self) -> bool:
+        return self.tier != "local"
+
+    def as_dict(self) -> dict:
+        return {
+            "sql": self.sql,
+            "tier": self.tier,
+            "planner": self.planner,
+            "task_count": self.task_count,
+            "total_shard_count": self.total_shard_count,
+            "pruned_shard_count": self.pruned_shard_count,
+            "nodes": self.nodes,
+            "tasks": [t.as_dict() for t in self.tasks],
+            "pushed_down": list(self.pushed_down),
+            "coordinator": list(self.coordinator),
+            "merge_query": self.merge_query,
+            "subplan": self.subplan,
+            "is_write": self.is_write,
+        }
+
+    def as_text(self) -> str:
+        """A pg-style EXPLAIN tree."""
+        if self.tier == "local":
+            return "\n".join(self.local_plan or ["(local plan)"])
+        lines = ["Custom Scan (Citus Adaptive)"]
+        lines.append(f"  Planner: {self.planner}  [tier: {self.tier}]")
+        if self.total_shard_count is not None and self.pruned_shard_count is not None:
+            targeted = self.total_shard_count - self.pruned_shard_count
+            lines.append(
+                f"  Shards: {targeted} of {self.total_shard_count}"
+                f" ({self.pruned_shard_count} pruned)"
+            )
+        lines.append(f"  Task Count: {self.task_count}")
+        if self.nodes:
+            lines.append(f"  Nodes: {', '.join(self.nodes)}")
+        if self.pushed_down:
+            lines.append(f"  Pushed Down: {', '.join(self.pushed_down)}")
+        if self.coordinator:
+            lines.append(f"  On Coordinator: {', '.join(self.coordinator)}")
+        if self.subplan:
+            detail = ", ".join(f"{k}={v}" for k, v in self.subplan.items())
+            lines.append(f"  ->  Subplan: {detail}")
+        for task in self.tasks:
+            lines.append(f"  ->  Task on {task.node}")
+            if task.sql:
+                lines.append(f"        {task.sql}")
+        if self.merge_query:
+            lines.append(f"  ->  Merge Query (coordinator)")
+            lines.append(f"        {self.merge_query}")
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.as_text()
+
+
+# ----------------------------------------------------------------- explain
+
+
+def explain(session, sql: str, params=None) -> DistributedExplain:
+    """Plan ``sql`` through the session's planner hooks and describe the
+    resulting distributed plan without executing it.
+
+    Purely-local statements yield ``tier == "local"`` with the engine's
+    own EXPLAIN lines attached.
+    """
+    statements = parse(sql)
+    if not statements:
+        raise ValueError("explain() needs exactly one statement")
+    stmt = statements[0]
+    if isinstance(stmt, A.Explain):
+        stmt = stmt.statement
+    plan = session.instance.hooks.call_planner(session, stmt, params)
+    if plan is None:
+        from ..engine.executor import LocalExecutor
+
+        lines: list[str] = []
+        if isinstance(stmt, (A.Select, A.Insert, A.Update, A.Delete)):
+            lines = LocalExecutor(session).explain(stmt, params)
+        return DistributedExplain(
+            sql=sql, tier="local", planner="Local", task_count=0, local_plan=lines,
+        )
+    return describe_plan(plan, sql)
+
+
+def describe_plan(plan, sql: str = "") -> DistributedExplain:
+    """Normalize a planner-hook plan object into a DistributedExplain."""
+    info_fn = getattr(plan, "explain_info", None)
+    if info_fn is None:
+        return DistributedExplain(
+            sql=sql,
+            tier="custom",
+            planner=type(plan).__name__,
+            task_count=0,
+            local_plan=list(plan.explain_lines()),
+        )
+    info = info_fn()
+    raw_tasks = info.get("tasks") or []
+    tasks = [
+        TaskTarget(node=t.node, sql=getattr(t, "sql", None),
+                   shard_group=getattr(t, "shard_group", None))
+        if not isinstance(t, TaskTarget) else t
+        for t in raw_tasks
+    ]
+    task_count = info.get("task_count", len(tasks))
+    total = info.get("total_shard_count")
+    ext = getattr(plan, "ext", None)
+    if total is None and ext is not None and tasks:
+        total = _total_shards_for_tasks(ext, tasks)
+    pruned = info.get("pruned_shard_count")
+    if pruned is None and total is not None:
+        targeted = _distinct_shards(tasks)
+        if targeted is not None:
+            pruned = max(total - targeted, 0)
+    return DistributedExplain(
+        sql=sql,
+        tier=info["tier"],
+        planner=info.get("planner", info["tier"]),
+        task_count=task_count,
+        tasks=tasks,
+        total_shard_count=total,
+        pruned_shard_count=pruned,
+        pushed_down=list(info.get("pushed_down", ())),
+        coordinator=list(info.get("coordinator", ())),
+        merge_query=info.get("merge_query"),
+        subplan=info.get("subplan"),
+        is_write=bool(info.get("is_write", False)),
+    )
+
+
+def _total_shards_for_tasks(ext, tasks: list[TaskTarget]) -> int | None:
+    """Shard count of the colocation group the tasks anchor on."""
+    colocation_ids = {
+        t.shard_group[0] for t in tasks if t.shard_group is not None
+    }
+    if len(colocation_ids) != 1:
+        return None
+    (colocation_id,) = colocation_ids
+    for table in ext.metadata.cache.tables.values():
+        if table.colocation_id == colocation_id:
+            return len(table.shards)
+    return None
+
+
+def _distinct_shards(tasks: list[TaskTarget]) -> int | None:
+    indexes = set()
+    for t in tasks:
+        if t.shard_group is None:
+            return None
+        indexes.add(t.shard_group[:2])
+    return len(indexes)

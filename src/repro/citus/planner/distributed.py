@@ -34,7 +34,12 @@ def make_planner_hook(ext):
         if not any(name in cache.tables for name in names):
             return None
         ext.stats["distributed_queries"] += 1
-        return plan_statement(ext, session, stmt, params)
+        ext.stat_counters.incr("planner_total")
+        plan = plan_statement(ext, session, stmt, params)
+        tier = getattr(plan, "tier", None)
+        if tier:
+            ext.stat_counters.incr(f"planner_{tier}")
+        return plan
 
     return planner_hook
 
@@ -113,6 +118,9 @@ def plan_statement(ext, session, stmt, params) -> CustomScanPlan:
 
 class CitusPlan(CustomScanPlan):
     planner_name = "Citus Adaptive"
+    #: Planner-cascade tier for observability ("fast_path", "router",
+    #: "pushdown", "join_order", or a DML-specific tier).
+    tier = "custom"
 
     def __init__(self, ext):
         self.ext = ext
@@ -124,6 +132,11 @@ class CitusPlan(CustomScanPlan):
         lines.append(f"  Task Count: {task_count}")
         return lines
 
+    def explain_info(self) -> dict:
+        """Structured plan description consumed by
+        :func:`repro.citus.observability.describe_plan`."""
+        return {"tier": self.tier, "planner": self.tier, "tasks": []}
+
 
 class SingleTaskPlan(CitusPlan):
     """Fast path / router: the entire statement is one task."""
@@ -132,6 +145,7 @@ class SingleTaskPlan(CitusPlan):
         super().__init__(ext)
         self.tasks = tasks
         self.detail = planner_name
+        self.tier = "fast_path" if planner_name == "Fast Path Router" else "router"
         self.is_write = is_write
 
     def execute(self, session, params):
@@ -148,9 +162,20 @@ class SingleTaskPlan(CitusPlan):
         lines.append(f"  Task: {self.tasks[0].sql}")
         return lines
 
+    def explain_info(self):
+        return {
+            "tier": self.tier,
+            "planner": self.detail,
+            "tasks": self.tasks,
+            "is_write": self.is_write,
+            "pushed_down": ["FULL STATEMENT"],
+        }
+
 
 class MultiTaskDMLPlan(CitusPlan):
     """Parallel, distributed UPDATE/DELETE."""
+
+    tier = "pushdown"
 
     def __init__(self, ext, tasks):
         super().__init__(ext)
@@ -183,9 +208,20 @@ class MultiTaskDMLPlan(CitusPlan):
             lines.append(f"  Task: {self.tasks[0].sql}")
         return lines
 
+    def explain_info(self):
+        return {
+            "tier": self.tier,
+            "planner": "Pushdown (DML)",
+            "tasks": self.tasks,
+            "is_write": True,
+            "pushed_down": ["FULL STATEMENT"],
+        }
+
 
 class MultiTaskSelectPlan(CitusPlan):
     """Logical pushdown SELECT: concat or two-phase-aggregation merge."""
+
+    tier = "pushdown"
 
     def __init__(self, ext, plan):
         super().__init__(ext)
@@ -283,12 +319,32 @@ class MultiTaskSelectPlan(CitusPlan):
             lines.append(f"  Merge Query: {deparse(self.plan.master_query)}")
         return lines
 
+    def explain_info(self):
+        plan = self.plan
+        merge_query = None
+        if plan.mode == "merge" and plan.master_query is not None:
+            from ...sql.deparse import deparse
+
+            merge_query = deparse(plan.master_query)
+        return {
+            "tier": self.tier,
+            "planner": "Pushdown" if plan.mode == "concat"
+            else "Pushdown (partial aggregation)",
+            "tasks": plan.tasks,
+            "total_shard_count": plan.total_shards or None,
+            "pushed_down": plan.pushed_down,
+            "coordinator": plan.coordinator,
+            "merge_query": merge_query,
+        }
+
 
 class InsertValuesPlan(CitusPlan):
     """Multi-row (or positional) INSERT: rows are evaluated on the
     coordinator (volatile functions like ``random()`` run once, centrally,
     as in Citus), grouped by target shard, and shipped as one task per
     shard."""
+
+    tier = "insert_values"
 
     def __init__(self, ext, stmt: A.Insert, params):
         super().__init__(ext)
@@ -354,11 +410,24 @@ class InsertValuesPlan(CitusPlan):
     def explain_lines(self):
         return self._explain_header(len(self.stmt.rows), "Insert (values)")
 
+    def explain_info(self):
+        return {
+            "tier": self.tier,
+            "planner": "Insert (values)",
+            "tasks": [],
+            "task_count": len(self.stmt.rows),  # upper bound: one per row
+            "total_shard_count": len(self.dist.shards),
+            "is_write": True,
+            "coordinator": ["ROW EVALUATION", "SHARD GROUPING"],
+        }
+
 
 class ReferenceDMLPlan(CitusPlan):
     """Writes to a reference table replicate to every placement; reads of
     the commit protocol treat each replica as a participant (2PC when the
     table has more than one replica)."""
+
+    tier = "reference"
 
     def __init__(self, ext, stmt, params):
         super().__init__(ext)
@@ -388,10 +457,32 @@ class ReferenceDMLPlan(CitusPlan):
         n = len(self.ext.metadata.all_placements(shard.shardid))
         return self._explain_header(n, "Reference Table DML")
 
+    def explain_info(self):
+        from .tasks import Task, task_sql_for_shard
+
+        shard = self.dist.shards[0]
+        sql = task_sql_for_shard(self.stmt, self.ext.metadata.cache, None)
+        tasks = [
+            Task(node, sql, self.params,
+                 shard_group=(self.dist.colocation_id, 0, node))
+            for node in self.ext.metadata.all_placements(shard.shardid)
+        ]
+        return {
+            "tier": self.tier,
+            "planner": "Reference Table DML",
+            "tasks": tasks,
+            "total_shard_count": 1,
+            "pruned_shard_count": 0,
+            "is_write": True,
+            "pushed_down": ["FULL STATEMENT (per replica)"],
+        }
+
 
 class LocalReferencePlan(CitusPlan):
     """Reads over reference tables (optionally joined with local tables)
     answered from the local replicas without network traffic."""
+
+    tier = "local_reference"
 
     def __init__(self, ext, stmt, params):
         super().__init__(ext)
@@ -404,6 +495,15 @@ class LocalReferencePlan(CitusPlan):
     def explain_lines(self):
         lines = self._explain_header(0, "Local (reference replica)")
         return lines
+
+    def explain_info(self):
+        return {
+            "tier": self.tier,
+            "planner": "Local (reference replica)",
+            "tasks": [],
+            "task_count": 0,
+            "coordinator": ["FULL STATEMENT (local replica)"],
+        }
 
 
 def _hashable(value):

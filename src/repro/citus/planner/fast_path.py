@@ -17,6 +17,14 @@ from .tasks import Task, task_sql_for_shard
 def try_fast_path(ext, stmt, params):
     """Return a list with one Task, or None if the statement does not
     qualify for the fast path."""
+    tasks = _try_fast_path(ext, stmt, params)
+    if tasks is None:
+        # Cascade fall-through: the next (costlier) planner tier must run.
+        ext.stat_counters.incr("planner_fast_path_misses")
+    return tasks
+
+
+def _try_fast_path(ext, stmt, params):
     cache = ext.metadata.cache
     if isinstance(stmt, A.Insert):
         return _fast_path_insert(ext, stmt, params, cache)

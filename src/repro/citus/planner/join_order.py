@@ -72,6 +72,7 @@ def plan_join_order(ext, select: A.Select, params, analysis):
         )
     candidates.sort(key=lambda c: c[4])
     strategy, anchor, moved, join_col, cost = candidates[0]
+    ext.stat_counters.incr(f"join_order_{strategy}")
     return RepartitionPlan(ext, select, params, strategy, anchor, moved, join_col, cost)
 
 
@@ -90,6 +91,8 @@ def _join_column_on_dist_key(ext, analysis, anchor, moved):
 
 class RepartitionPlan:
     """Executable plan: move one side, then push the join down."""
+
+    tier = "join_order"
 
     def __init__(self, ext, select, params, strategy, anchor, moved, join_col, cost):
         self.ext = ext
@@ -115,6 +118,8 @@ class RepartitionPlan:
         moved_rows = session.execute(f"SELECT * FROM {self.moved.name}").rows
         ext.stats["repartition_rows_moved"] += len(moved_rows)
         ext.stats["repartition_bytes"] += int(self.estimated_network_bytes)
+        ext.stat_counters.incr("repartition_rows_moved", len(moved_rows))
+        ext.stat_counters.incr("repartition_bytes", int(self.estimated_network_bytes))
 
         created: list[tuple] = []  # (node, table_name)
         try:
@@ -179,6 +184,35 @@ class RepartitionPlan:
             f"  Moved Table: {self.moved.name}",
             f"  Estimated Network Bytes: {int(self.estimated_network_bytes)}",
         ]
+
+    def explain_info(self):
+        from .tasks import Task
+
+        cache = self.ext.metadata.cache
+        # The final join runs one task per anchor shard once the moved side
+        # is in place; the task SQL is only known after the move, so tasks
+        # carry the target node and shard group but no SQL.
+        tasks = [
+            Task(cache.placement_node(shard.shardid), None,
+                 shard_group=(self.anchor.dist.colocation_id, index))
+            for index, shard in enumerate(self.anchor.dist.shards)
+        ]
+        return {
+            "tier": self.tier,
+            "planner": f"Join Order ({self.strategy})",
+            "tasks": tasks,
+            "total_shard_count": len(self.anchor.dist.shards),
+            "pruned_shard_count": 0,
+            "pushed_down": ["CO-LOCATED JOIN (after move)"],
+            "coordinator": ["INTERMEDIATE RESULT MOVE"],
+            "subplan": {
+                "strategy": self.strategy,
+                "anchor_table": self.anchor.dist.name,
+                "moved_table": self.moved.name,
+                "join_column": self.join_col,
+                "estimated_network_bytes": int(self.estimated_network_bytes),
+            },
+        }
 
 
 def _intermediate_ddl(table_name: str, shell) -> str:

@@ -42,6 +42,12 @@ class PushdownSelect:
     offset: A.Expr | None = None
     limit: A.Expr | None = None
     n_visible: int = 0
+    # Observability: anchor table, its shard count before pruning, and the
+    # clause-level split between worker and coordinator evaluation.
+    anchor_table: str = ""
+    total_shards: int = 0
+    pushed_down: list = field(default_factory=list)
+    coordinator: list = field(default_factory=list)
 
 
 def plan_pushdown_select(ext, select: A.Select, params, analysis: QueryAnalysis):
@@ -79,6 +85,9 @@ def plan_pushdown_select(ext, select: A.Select, params, analysis: QueryAnalysis)
     _check_window_functions(select, analysis)
     anchor = dist[0]
     shard_indexes = prune_shards(anchor.dist, select.where, params, anchor.alias)
+    pruned = len(anchor.dist.shards) - len(shard_indexes)
+    if pruned:
+        ext.stat_counters.incr("planner_shards_pruned", pruned)
     mode = _choose_mode(select, analysis)
     if mode == "concat":
         return _plan_concat(ext, select, params, analysis, anchor, shard_indexes)
@@ -220,6 +229,7 @@ def _plan_concat(ext, select, params, analysis, anchor, shard_indexes):
         worker.limit = A.BinaryOp("+", worker.limit, worker.offset)
     worker.offset = None
     tasks = _make_tasks(ext, worker, params, anchor, shard_indexes)
+    pushed_down, coordinator = _classify_concat_clauses(select)
     return PushdownSelect(
         tasks=tasks,
         mode="concat",
@@ -231,7 +241,35 @@ def _plan_concat(ext, select, params, analysis, anchor, shard_indexes):
         offset=offset,
         limit=limit,
         n_visible=n_appended,  # reinterpreted: number of appended columns
+        anchor_table=anchor.dist.name,
+        total_shards=len(anchor.dist.shards),
+        pushed_down=pushed_down,
+        coordinator=coordinator,
     )
+
+
+def _classify_concat_clauses(select: A.Select) -> tuple[list, list]:
+    """Worker-evaluated vs. coordinator-re-applied clauses for concat mode:
+    every group lives on one shard, so only the global re-sort, DISTINCT,
+    and LIMIT/OFFSET need a coordinator pass over the concatenated rows."""
+    pushed = ["WHERE"] if select.where is not None else []
+    pushed.append("TARGET LIST")
+    coordinator = []
+    if select.group_by:
+        pushed.append("GROUP BY")
+    if select.having is not None:
+        pushed.append("HAVING")
+    if select.order_by:
+        pushed.append("ORDER BY")
+        coordinator.append("SORT (merge)")
+    if select.distinct:
+        coordinator.append("DISTINCT")
+    if select.limit is not None:
+        pushed.append("LIMIT (combined)")
+        coordinator.append("LIMIT")
+    if select.offset is not None:
+        coordinator.append("OFFSET")
+    return pushed, coordinator
 
 
 def _visible_columns(select) -> list[str]:
@@ -375,6 +413,24 @@ def _plan_merge(ext, select, params, analysis, anchor, shard_indexes):
         distinct=select.distinct,
     )
     tasks = _make_tasks(ext, worker_query, params, anchor, shard_indexes)
+    pushed_down = ["PARTIAL AGGREGATES", "TARGET LIST"]
+    if select.where is not None:
+        pushed_down.insert(0, "WHERE")
+    if select.group_by:
+        pushed_down.append("GROUP BY (worker)")
+    coordinator = ["MERGE AGGREGATES"]
+    if select.group_by:
+        coordinator.append("GROUP BY (merge)")
+    if select.having is not None:
+        coordinator.append("HAVING")
+    if select.order_by:
+        coordinator.append("ORDER BY")
+    if select.limit is not None:
+        coordinator.append("LIMIT")
+    if select.offset is not None:
+        coordinator.append("OFFSET")
+    if select.distinct:
+        coordinator.append("DISTINCT")
     return PushdownSelect(
         tasks=tasks,
         mode="merge",
@@ -383,6 +439,10 @@ def _plan_merge(ext, select, params, analysis, anchor, shard_indexes):
         visible_columns=_visible_columns(select),
         hidden_sort_keys=[],
         n_visible=len(targets),
+        anchor_table=anchor.dist.name,
+        total_shards=len(anchor.dist.shards),
+        pushed_down=pushed_down,
+        coordinator=coordinator,
     )
 
 
@@ -420,6 +480,9 @@ def plan_pushdown_dml(ext, stmt, params, analysis) -> list[Task] | None:
     occ = dist_occurrences[0]
     cache = ext.metadata.cache
     shard_indexes = prune_shards(occ.dist, stmt.where, params, occ.alias)
+    pruned = len(occ.dist.shards) - len(shard_indexes)
+    if pruned:
+        ext.stat_counters.incr("planner_shards_pruned", pruned)
     tasks = []
     for index in shard_indexes:
         shard = occ.dist.shards[index]

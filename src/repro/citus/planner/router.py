@@ -19,6 +19,14 @@ from .tasks import Task, task_sql_for_shard
 
 def try_router(ext, stmt, params, analysis=None):
     """Return [Task] if the statement routes to a single shard group."""
+    tasks = _try_router(ext, stmt, params, analysis)
+    if tasks is None:
+        # Cascade fall-through: the statement needs a multi-shard planner.
+        ext.stat_counters.incr("planner_router_misses")
+    return tasks
+
+
+def _try_router(ext, stmt, params, analysis=None):
     cache = ext.metadata.cache
     if analysis is None:
         analysis = analyze_statement(stmt, cache, params, ext.instance.catalog)

@@ -132,6 +132,7 @@ class Rebalancer:
 
     def rebalance(self, session) -> list[ShardMove]:
         moves = self.plan()
+        self.ext.stat_counters.incr("rebalancer_runs")
         for move in moves:
             move_shard(self.ext, session, move.shardid, move.target,
                        move_colocated=False)
@@ -186,6 +187,7 @@ def move_shard(ext, session, shardid: int, target_node: str,
         # continue on the source while this runs).
         rows = _read_shard_rows(source, shard_interval.shard_name)
         target_conn.copy_rows(shard_interval.shard_name, rows)
+        ext.stat_counters.incr("rebalancer_rows_copied", len(rows))
         clock.advance(len(rows) * 1e-6 + 0.05)
     # 3. Brief write block + catch-up + metadata switch (seconds, not
     # minutes: "minimal write downtime").
@@ -202,6 +204,7 @@ def move_shard(ext, session, shardid: int, target_node: str,
         except Exception:
             pass
     ext.stats["shard_moves"] += len(to_move)
+    ext.stat_counters.incr("rebalancer_shard_moves", len(to_move), node=target_node)
 
 
 def _read_shard_rows(instance, shard_name: str) -> list:
@@ -229,6 +232,7 @@ def drain_node(ext, session, node_name: str) -> list[ShardMove]:
     if not targets:
         raise RebalanceError("cannot drain the only node in the cluster")
     moves: list[ShardMove] = []
+    ext.stat_counters.incr("rebalancer_drains")
     balancer = Rebalancer(ext)
     rotation = 0
     for key, shards in balancer._colocation_groups().items():

@@ -43,6 +43,7 @@ def detect_distributed_deadlocks(ext) -> list[int]:
     # coordinator itself, expressed in distributed txn ids where known.
     edges: dict[tuple, set[tuple]] = {}
     backend_location: dict[tuple, list[tuple]] = {}  # dist id -> [(node, xid)]
+    ext.stat_counters.incr("deadlock_checks")
     nodes = set(ext.all_node_names()) | {ext.instance.name}
     for name in nodes:
         try:
@@ -73,6 +74,7 @@ def detect_distributed_deadlocks(ext) -> list[int]:
             instance.cancel_backend(xid)
         cancelled.append(victim)
         ext.stats["distributed_deadlocks"] += 1
+        ext.stat_counters.incr("deadlock_victims")
         # Remove the victim and look for further cycles.
         edges.pop(victim, None)
         for holders in edges.values():

@@ -30,6 +30,8 @@ def _in_flight_gids(ext) -> set:
 def recover_prepared_transactions(ext) -> dict:
     """Returns {"committed": n, "aborted": n} for observability."""
     stats = {"committed": 0, "aborted": 0}
+    counters = ext.stat_counters
+    counters.incr("recovery_rounds")
     session = ext.instance.connect("citus_recovery")
     try:
         prefix = f"citus_{ext.instance.name}_"
@@ -55,9 +57,11 @@ def recover_prepared_transactions(ext) -> dict:
                 if ext.metadata.commit_record_exists(session, gid):
                     conn.execute(f"COMMIT PREPARED '{gid}'")
                     stats["committed"] += 1
+                    counters.incr("recovery_committed", node=node)
                 else:
                     conn.execute(f"ROLLBACK PREPARED '{gid}'")
                     stats["aborted"] += 1
+                    counters.incr("recovery_aborted", node=node)
         # Garbage-collect commit records whose prepared transactions are
         # gone — but only when every node could be checked this round: a
         # down node may still hold a prepared transaction whose record we
@@ -68,6 +72,7 @@ def recover_prepared_transactions(ext) -> dict:
             ).rows:
                 if gid.startswith(prefix) and gid not in known_gids:
                     ext.metadata.delete_commit_record(session, gid)
+                    counters.incr("recovery_records_gced")
         return stats
     finally:
         session.close()

@@ -53,18 +53,21 @@ class TransactionCallbacks:
         if not writers:
             pools.end_transaction()
             return
+        counters = self.ext.stat_counters
         if len(writers) == 1:
             # Single worker transaction: delegate, no 2PC needed (§3.7.1).
             conn = writers[0]
             conn.execute("COMMIT")
             conn.in_txn_block = False
             session.stats["citus_1pc_commits"] += 1
+            counters.incr("onepc_commits", node=conn.node_name)
             pools.end_transaction()
             return
         # Phase one: prepare every writer.
         prepared: list[tuple] = []  # (conn, gid)
         self.ext.stats["2pc_count"] += 1
         session.stats["citus_2pc_commits"] += 1
+        counters.incr("twopc_transactions")
         participants = writers
         for conn in participants:
             gid = make_gid(self.ext.instance.name, session.backend_pid)
@@ -73,8 +76,10 @@ class TransactionCallbacks:
             except Exception:
                 # Prepare failed: abort the already-prepared participants
                 # and the local transaction.
+                counters.incr("twopc_prepare_failures", node=conn.node_name)
                 for other_conn, other_gid in prepared:
                     _best_effort(other_conn, f"ROLLBACK PREPARED '{other_gid}'")
+                    counters.incr("twopc_rollback_prepared", node=other_conn.node_name)
                 for other in participants:
                     if other is not conn and all(other is not c for c, _ in prepared):
                         _best_effort(other, "ROLLBACK")
@@ -82,6 +87,7 @@ class TransactionCallbacks:
                 pools.end_transaction()
                 raise
             conn.in_txn_block = False
+            counters.incr("twopc_prepares", node=conn.node_name)
             prepared.append((conn, gid))
         # Commit records: become durable together with the local commit.
         for _conn, gid in prepared:
@@ -99,6 +105,9 @@ class TransactionCallbacks:
                     # the recovery daemon.
                     continue
                 _best_effort(conn, f"COMMIT PREPARED '{gid}'")
+                self.ext.stat_counters.incr(
+                    "twopc_commit_prepared", node=conn.node_name
+                )
             session._citus_prepared = None
         pools = getattr(session, SessionPools.ATTR, None)
         if pools is not None:
@@ -113,6 +122,9 @@ class TransactionCallbacks:
             # commit records, recovery must abort these; do it eagerly.
             for conn, gid in prepared:
                 _best_effort(conn, f"ROLLBACK PREPARED '{gid}'")
+                self.ext.stat_counters.incr(
+                    "twopc_rollback_prepared", node=conn.node_name
+                )
             session._citus_prepared = None
         pools = getattr(session, SessionPools.ATTR, None)
         if pools is None:

@@ -9,6 +9,7 @@ bounded set of server sessions, leasing a server session per transaction.
 
 from __future__ import annotations
 
+from ..engine.stats import stats_for
 from ..errors import TooManyConnections
 
 
@@ -17,6 +18,8 @@ class ConnectionPool:
         self.instance = instance
         self.pool_size = pool_size
         self.max_client_conn = max_client_conn
+        self.stats = stats_for(instance)
+        self._node = getattr(instance, "name", None)
         self._idle: list = []
         self._lease_count = 0
         self._client_count = 0
@@ -25,24 +28,31 @@ class ConnectionPool:
 
     def client(self) -> "PooledClient":
         if self._client_count >= self.max_client_conn:
+            self.stats.incr("pool_client_rejections", node=self._node)
             raise TooManyConnections("pgbouncer: no more client connections allowed")
         self._client_count += 1
+        self.stats.gauge_incr("pool_clients", node=self._node)
         return PooledClient(self)
 
     def _acquire(self):
         if self._idle:
             session = self._idle.pop()
+            self.stats.incr("pool_session_reuses", node=self._node)
         elif self._lease_count < self.pool_size:
             session = self.instance.connect("pgbouncer")
+            self.stats.incr("pool_sessions_opened", node=self._node)
         else:
             self.waits += 1
+            self.stats.incr("pool_exhausted", node=self._node)
             raise _PoolExhausted()
         self._lease_count += 1
+        self.stats.gauge_incr("pool_leases", node=self._node)
         self.peak_leases = max(self.peak_leases, self._lease_count)
         return session
 
     def _release(self, session) -> None:
         self._lease_count -= 1
+        self.stats.gauge_decr("pool_leases", node=self._node)
         if session.in_transaction:
             session.rollback()
         self._idle.append(session)
@@ -92,3 +102,4 @@ class PooledClient:
             self.pool._release(self._leased)
             self._leased = None
         self.pool._client_count -= 1
+        self.pool.stats.gauge_decr("pool_clients", node=self.pool._node)

@@ -27,24 +27,37 @@ def test_property_invariant_survives_random_failpoints(seed):
     pgbench.load_data(s, cfg)
     ext = citus.coordinator_ext
     driver = pgbench.PgbenchDriver(s, cfg, same_key=False)
-    for i in range(25):
-        ext.failpoints["skip_commit_prepared"] = rng.random() < 0.3
-        try:
-            driver.run_one()
-        except ReproError:
-            # In-doubt prepared transactions legitimately hold row locks
-            # until recovery resolves them; the conflicting txn fails.
+    reg = ext.stat_counters
+    with reg.measure() as m:
+        for i in range(25):
+            ext.failpoints["skip_commit_prepared"] = rng.random() < 0.3
             try:
-                s.execute("ROLLBACK")
+                driver.run_one()
             except ReproError:
-                pass
-        if rng.random() < 0.2:
-            # The maintenance daemon runs concurrently in real deployments.
-            ext.failpoints.clear()
-            citus.run_maintenance()
-    ext.failpoints.clear()
-    citus.run_maintenance()
+                # In-doubt prepared transactions legitimately hold row locks
+                # until recovery resolves them; the conflicting txn fails.
+                try:
+                    s.execute("ROLLBACK")
+                except ReproError:
+                    pass
+            if rng.random() < 0.2:
+                # The maintenance daemon runs concurrently in real deployments.
+                ext.failpoints.clear()
+                citus.run_maintenance()
+        ext.failpoints.clear()
+        citus.run_maintenance()
     assert pgbench.invariant_sum(s) == 0
+    # Counter conservation: with no crashes, every successful PREPARE was
+    # resolved exactly once — in phase two, by an eager abort, or by the
+    # recovery daemon.
+    resolved = (m.value("twopc_commit_prepared") + m.value("twopc_rollback_prepared")
+                + m.value("recovery_committed") + m.value("recovery_aborted"))
+    assert resolved == m.value("twopc_prepares")
+    assert sum(len(citus.cluster.node(n).prepared_txns)
+               for n in citus.cluster.node_names()) == 0
+    # Exception-safe gauges: nothing left in flight after the chaos run.
+    assert reg.gauge("tasks_in_flight") == 0
+    assert reg.gauge("executor_statements_in_flight") == 0
 
 
 @settings(max_examples=6, deadline=None,
@@ -86,10 +99,19 @@ def test_property_invariant_survives_worker_restarts(seed):
 
             SessionPools.for_session(s, ext).close_all()
     ext.failpoints.clear()
-    citus.run_maintenance()
-    citus.run_maintenance()  # second pass GCs and settles everything
+    reg = ext.stat_counters
+    with reg.measure() as m:
+        citus.run_maintenance()
+        citus.run_maintenance()  # second pass GCs and settles everything
+    assert m.value("recovery_rounds") == 2
     fresh = citus.coordinator_session("verifier")
     s1 = fresh.execute("SELECT coalesce(sum(v), 0) FROM a1").scalar()
     s2 = fresh.execute("SELECT coalesce(sum(v), 0) FROM a2").scalar()
     assert (s1 or 0) + (s2 or 0) == 0
     assert completed > 0
+    # After recovery no in-doubt transaction remains anywhere, and the
+    # in-flight gauges unwound through every crash and failed statement.
+    assert sum(len(citus.cluster.node(n).prepared_txns)
+               for n in citus.cluster.node_names()) == 0
+    assert reg.gauge("tasks_in_flight") == 0
+    assert reg.gauge("executor_statements_in_flight") == 0

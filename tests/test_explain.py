@@ -1,0 +1,207 @@
+"""Distributed EXPLAIN: structured plan descriptions for every planner tier.
+
+Each test asserts on the `DistributedExplain` tree returned by
+`repro.citus.observability.explain` — chosen tier, shard pruning, task
+fan-out, pushed-down vs. coordinator-evaluated clauses — and on the
+pg-style text rendering.
+"""
+
+import pytest
+
+from repro.citus.observability import PLANNER_TIERS, explain
+from tests.conftest import find_keys_on_distinct_nodes
+
+
+@pytest.fixture
+def s(citus, citus_session):
+    s = citus_session
+    s.execute("CREATE TABLE orders (id int, region text, total int)")
+    s.execute("SELECT create_distributed_table('orders', 'id')")
+    s.execute("CREATE TABLE lines (id int, qty int)")
+    s.execute("SELECT create_distributed_table('lines', 'id', colocate_with := 'orders')")
+    s.execute("CREATE TABLE dims (d int PRIMARY KEY, name text)")
+    s.execute("SELECT create_reference_table('dims')")
+    s.execute("CREATE TABLE other (oid int, id int)")
+    s.execute("SELECT create_distributed_table('other', 'oid')")
+    for k in range(1, 9):
+        s.execute(f"INSERT INTO orders VALUES ({k}, 'r{k % 2}', {k * 10})")
+        s.execute(f"INSERT INTO lines VALUES ({k}, {k})")
+        s.execute(f"INSERT INTO other VALUES ({k}, {9 - k})")
+    s.execute("INSERT INTO dims VALUES (1, 'x')")
+    return s
+
+
+class TestTierLabels:
+    """explain() names the planner tier that actually fired (§3.5)."""
+
+    def test_fast_path_tier(self, s):
+        e = explain(s, "SELECT * FROM orders WHERE id = 3")
+        assert e.tier == "fast_path"
+        assert e.planner == "Fast Path Router"
+        assert e.task_count == 1
+        assert e.distributed
+
+    def test_router_tier(self, s):
+        e = explain(
+            s,
+            "SELECT o.total, l.qty FROM orders o JOIN lines l ON o.id = l.id"
+            " WHERE o.id = 3",
+        )
+        assert e.tier == "router"
+        assert e.task_count == 1
+        assert len(e.nodes) == 1
+
+    def test_pushdown_tier(self, s):
+        e = explain(s, "SELECT region, sum(total) FROM orders GROUP BY region")
+        assert e.tier == "pushdown"
+        assert e.task_count == 8
+        assert sorted(e.nodes) == ["worker1", "worker2"]
+
+    def test_join_order_tier(self, s):
+        e = explain(s, "SELECT count(*) FROM orders o JOIN other t ON o.id = t.id")
+        assert e.tier == "join_order"
+        assert e.subplan["strategy"] in ("repartition", "broadcast")
+        assert e.subplan["moved_table"] in ("orders", "other")
+
+    def test_all_four_tiers_are_the_documented_cascade(self, s):
+        tiers = [
+            explain(s, q).tier
+            for q in (
+                "SELECT * FROM orders WHERE id = 3",
+                "SELECT o.total FROM orders o JOIN lines l ON o.id = l.id"
+                " WHERE o.id = 3",
+                "SELECT region, sum(total) FROM orders GROUP BY region",
+                "SELECT count(*) FROM orders o JOIN other t ON o.id = t.id",
+            )
+        ]
+        assert tiers == list(PLANNER_TIERS)
+
+
+class TestPruning:
+    """Pruned vs. total shard counts come from the metadata cache."""
+
+    def test_single_shard_prunes_rest(self, s):
+        e = explain(s, "SELECT * FROM orders WHERE id = 3")
+        assert e.total_shard_count == 8
+        assert e.pruned_shard_count == 7
+
+    def test_full_scan_prunes_nothing(self, s):
+        e = explain(s, "SELECT count(*) FROM orders")
+        assert e.total_shard_count == 8
+        assert e.pruned_shard_count == 0
+        assert e.task_count == 8
+
+    def test_text_rendering_shows_pruning(self, s):
+        text = explain(s, "SELECT * FROM orders WHERE id = 3").as_text()
+        assert "Custom Scan (Citus Adaptive)" in text
+        assert "Shards: 1 of 8 (7 pruned)" in text
+
+
+class TestTaskFanOut:
+    def test_tasks_carry_target_node_and_shard_sql(self, s):
+        e = explain(s, "SELECT * FROM orders WHERE id = 3")
+        assert len(e.tasks) == 1
+        task = e.tasks[0]
+        assert task.node in ("worker1", "worker2")
+        assert "orders_" in task.sql  # rewritten to the shard name
+
+    def test_multi_shard_fan_out_covers_both_workers(self, s):
+        e = explain(s, "SELECT count(*) FROM orders")
+        per_node = {}
+        for task in e.tasks:
+            per_node[task.node] = per_node.get(task.node, 0) + 1
+        assert per_node == {"worker1": 4, "worker2": 4}
+
+    def test_reference_write_targets_every_replica(self, s):
+        e = explain(s, "UPDATE dims SET name = 'y' WHERE d = 1")
+        assert e.tier == "reference"
+        assert e.is_write
+        assert e.task_count == 3  # coordinator + both workers
+        assert set(e.nodes) == {"coordinator", "worker1", "worker2"}
+
+
+class TestClauseClassification:
+    """Pushed-down vs. coordinator-evaluated clauses (§3.5's two-phase
+    aggregation / merge step)."""
+
+    def test_partial_aggregation_split(self, s):
+        e = explain(s, "SELECT region, sum(total) FROM orders GROUP BY region")
+        assert "PARTIAL AGGREGATES" in e.pushed_down
+        assert "MERGE AGGREGATES" in e.coordinator
+        assert e.merge_query is not None and "sum(" in e.merge_query
+
+    def test_order_limit_split(self, s):
+        e = explain(s, "SELECT * FROM orders ORDER BY total LIMIT 3")
+        assert "LIMIT (combined)" in e.pushed_down
+        assert "SORT (merge)" in e.coordinator
+        assert "LIMIT" in e.coordinator
+
+    def test_single_shard_pushes_full_statement(self, s):
+        e = explain(s, "SELECT * FROM orders WHERE id = 3")
+        assert e.pushed_down == ["FULL STATEMENT"]
+        assert e.coordinator == []
+
+
+class TestWritesAndOtherPlans:
+    def test_multi_shard_update_is_pushdown_write(self, s):
+        e = explain(s, "UPDATE orders SET total = 0")
+        assert e.tier == "pushdown"
+        assert e.is_write
+        assert e.task_count == 8
+        # explain never executes: no row was actually updated.
+        assert s.execute("SELECT count(*) FROM orders WHERE total = 0").scalar() == 0
+
+    def test_multi_row_insert_groups_by_shard(self, s):
+        e = explain(s, "INSERT INTO orders VALUES (101, 'a', 1), (102, 'b', 2)")
+        assert e.tier == "insert_values"
+        assert e.is_write
+        assert e.task_count == 2
+        assert s.execute("SELECT count(*) FROM orders").scalar() == 8
+
+    def test_insert_select_reports_strategy(self, s):
+        e = explain(
+            s,
+            "INSERT INTO lines (id, qty)"
+            " SELECT id, total FROM orders WHERE total > 20",
+        )
+        assert e.tier == "insert_select"
+        assert e.subplan["strategy"] in ("pushdown", "repartition", "coordinator")
+        assert e.subplan["destination"] == "lines"
+
+    def test_local_table_falls_through_to_postgres(self, s):
+        s.execute("CREATE TABLE plainlocal (x int)")
+        e = explain(s, "SELECT * FROM plainlocal")
+        assert e.tier == "local"
+        assert not e.distributed
+        assert any("Seq Scan" in line for line in e.local_plan)
+
+
+class TestRenderings:
+    def test_as_dict_round_trip(self, s):
+        d = explain(s, "SELECT region, sum(total) FROM orders GROUP BY region").as_dict()
+        assert d["tier"] == "pushdown"
+        assert d["task_count"] == 8
+        assert d["total_shard_count"] == 8
+        assert len(d["tasks"]) == 8
+        assert all({"node", "sql"} <= set(t) for t in d["tasks"])
+
+    def test_explain_keyword_is_unwrapped(self, s):
+        e = explain(s, "EXPLAIN SELECT * FROM orders WHERE id = 3")
+        assert e.tier == "fast_path"
+
+    def test_udf_returns_same_text(self, s):
+        text = s.execute(
+            "SELECT citus_explain('SELECT * FROM orders WHERE id = 3')"
+        ).scalar()
+        assert text == explain(s, "SELECT * FROM orders WHERE id = 3").as_text()
+
+    def test_text_lists_tasks_per_node(self, s):
+        text = explain(s, "SELECT count(*) FROM orders").as_text()
+        assert text.count("->  Task on worker1") == 4
+        assert text.count("->  Task on worker2") == 4
+
+    def test_keys_on_distinct_nodes_route_to_distinct_nodes(self, citus, s):
+        k1, k2 = find_keys_on_distinct_nodes(citus, "orders")
+        n1 = explain(s, f"SELECT * FROM orders WHERE id = {k1}").nodes
+        n2 = explain(s, f"SELECT * FROM orders WHERE id = {k2}").nodes
+        assert n1 != n2

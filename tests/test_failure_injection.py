@@ -69,8 +69,12 @@ class TestTwoPhaseCommitFailures:
         # Kill one participant before COMMIT: its connection dies, so the
         # pre-commit PREPARE on it fails.
         citus.cluster.fail_node(node_of(citus, "t", k2))
-        with pytest.raises(ReproError):
-            s.execute("COMMIT")
+        reg = citus.coordinator_ext.stat_counters
+        with reg.measure() as m:
+            with pytest.raises(ReproError):
+                s.execute("COMMIT")
+        assert m.value("twopc_prepare_failures") == 1
+        assert m.value("twopc_commit_prepared") == 0
         # Revive and check the surviving node rolled back.
         citus.cluster.node(node_of(citus, "t", k2)).restart()
         citus.coordinator_ext._utility_connections.clear()
@@ -95,8 +99,15 @@ class TestTwoPhaseCommitFailures:
         citus.cluster.node(victim).restart()
         ext._utility_connections.clear()
         assert citus.cluster.node(victim).prepared_txns  # survived restart
-        result = citus.run_maintenance()
+        reg = ext.stat_counters
+        with reg.measure() as m:
+            result = citus.run_maintenance()
         assert result["recovery"]["committed"] >= 1
+        # The cluster-wide counters agree with the maintenance report.
+        assert m.value("recovery_rounds") >= 1
+        assert m.value("recovery_committed") == result["recovery"]["committed"]
+        assert m.value("recovery_committed", node=victim) >= 1
+        assert m.value("recovery_aborted") == 0
         fresh = citus.coordinator_session("fresh")
         assert fresh.execute("SELECT sum(v) FROM t").scalar() == 10
 
@@ -110,14 +121,21 @@ class TestTwoPhaseCommitFailures:
         s.execute("COMMIT")
         ext.failpoints.clear()
         down = node_of(citus, "t", k2)
+        up = node_of(citus, "t", k1)
         citus.cluster.fail_node(down)
+        reg = ext.stat_counters
         # First pass: only the live node's prepared txn resolves.
-        first = citus.run_maintenance()["recovery"]
+        with reg.measure() as m1:
+            first = citus.run_maintenance()["recovery"]
         assert first["committed"] == 1
+        assert m1.value("recovery_committed", node=up) == 1
+        assert m1.value("recovery_committed", node=down) == 0
         citus.cluster.node(down).restart()
         ext._utility_connections.clear()
-        second = citus.run_maintenance()["recovery"]
+        with reg.measure() as m2:
+            second = citus.run_maintenance()["recovery"]
         assert second["committed"] == 1
+        assert m2.value("recovery_committed", node=down) == 1
         fresh = citus.coordinator_session("fresh")
         assert fresh.execute("SELECT sum(v) FROM t").scalar() == 6
 
