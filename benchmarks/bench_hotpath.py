@@ -1,0 +1,153 @@
+"""Hot-path microbenchmark: wall-clock statements/sec through the real
+planner + executor code path.
+
+Three loops, chosen to exercise the three layers of the hot-path
+acceleration work (plan cache, deparse-free task shipping, compiled
+expressions):
+
+- **fast_path** — repeated single-key SELECT / UPDATE with parameters,
+  the pgbench-style CRUD loop the paper's fast-path tier exists for;
+- **router_txn** — BEGIN / UPDATE / SELECT / COMMIT transactions scoped
+  to one shard group;
+- **pushdown_agg** — a two-phase aggregation SELECT fanning out to every
+  shard and merging partials on the coordinator.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+        [--out results.json] [--baseline baseline.json]
+
+``--baseline`` compares the fast_path throughput against a checked-in
+baseline JSON and exits non-zero on a >30% regression (the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import make_cluster  # noqa: E402
+
+#: Fraction of baseline fast-path throughput below which --baseline fails.
+REGRESSION_FLOOR = 0.70
+
+
+def _setup(shard_count: int = 8):
+    cluster = make_cluster(workers=2, shard_count=shard_count,
+                           max_connections=2000)
+    session = cluster.coordinator_session()
+    session.execute(
+        "CREATE TABLE accounts (key int PRIMARY KEY, v int, filler text)"
+    )
+    session.execute("SELECT create_distributed_table('accounts', 'key')")
+    rows = [[k, 0, f"filler-{k}"] for k in range(1, 201)]
+    session.copy_rows("accounts", rows, ["key", "v", "filler"])
+    return cluster, session
+
+
+def bench_fast_path(session, iterations: int) -> dict:
+    """Single-key SELECT/UPDATE pairs — the fast-path CRUD loop."""
+    select_sql = "SELECT v FROM accounts WHERE key = :key"
+    update_sql = "UPDATE accounts SET v = v + :d WHERE key = :key"
+    # Warm-up: first execution pays parse + plan for each shape.
+    session.execute(select_sql, {"key": 1})
+    session.execute(update_sql, {"d": 0, "key": 1})
+    start = time.perf_counter()
+    for i in range(iterations):
+        key = (i % 200) + 1
+        session.execute(select_sql, {"key": key})
+        session.execute(update_sql, {"d": 1, "key": key})
+    elapsed = time.perf_counter() - start
+    return {"statements": iterations * 2, "seconds": elapsed,
+            "stmts_per_sec": iterations * 2 / elapsed}
+
+
+def bench_router_txn(session, iterations: int) -> dict:
+    """Single-shard-group transactions: BEGIN/UPDATE/SELECT/COMMIT."""
+    update_sql = "UPDATE accounts SET v = v + :d WHERE key = :key"
+    select_sql = "SELECT v FROM accounts WHERE key = :key"
+    session.execute("BEGIN")
+    session.execute(update_sql, {"d": 0, "key": 1})
+    session.execute("COMMIT")
+    start = time.perf_counter()
+    for i in range(iterations):
+        key = (i % 200) + 1
+        session.execute("BEGIN")
+        session.execute(update_sql, {"d": 1, "key": key})
+        session.execute(select_sql, {"key": key})
+        session.execute("COMMIT")
+    elapsed = time.perf_counter() - start
+    return {"statements": iterations * 4, "seconds": elapsed,
+            "stmts_per_sec": iterations * 4 / elapsed,
+            "txns_per_sec": iterations / elapsed}
+
+
+def bench_pushdown_agg(session, iterations: int) -> dict:
+    """Two-phase aggregation across all shards."""
+    sql = "SELECT count(*), sum(v), avg(v) FROM accounts WHERE v >= :floor"
+    session.execute(sql, {"floor": 0})
+    start = time.perf_counter()
+    for _ in range(iterations):
+        session.execute(sql, {"floor": 0})
+    elapsed = time.perf_counter() - start
+    return {"statements": iterations, "seconds": elapsed,
+            "stmts_per_sec": iterations / elapsed}
+
+
+def run(quick: bool = False) -> dict:
+    fast_iters = 2000 if not quick else 400
+    txn_iters = 500 if not quick else 100
+    agg_iters = 200 if not quick else 50
+    cluster, session = _setup()
+    results = {
+        "fast_path": bench_fast_path(session, fast_iters),
+        "router_txn": bench_router_txn(session, txn_iters),
+        "pushdown_agg": bench_pushdown_agg(session, agg_iters),
+    }
+    return {
+        "config": {"workers": 2, "shard_count": 8, "quick": quick},
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--out", help="write results JSON to this path")
+    parser.add_argument("--baseline",
+                        help="baseline JSON; fail on >30%% fast-path regression")
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick)
+    for name, r in report["results"].items():
+        print(f"{name:>14}: {r['stmts_per_sec']:>10.1f} stmts/sec"
+              f"  ({r['statements']} statements in {r['seconds']:.2f}s)")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.out}")
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        base = baseline["results"]["fast_path"]["stmts_per_sec"]
+        now = report["results"]["fast_path"]["stmts_per_sec"]
+        floor = base * REGRESSION_FLOOR
+        print(f"fast_path: {now:.1f} vs baseline {base:.1f}"
+              f" (floor {floor:.1f})")
+        if now < floor:
+            print("FAIL: fast-path throughput regressed more than 30%")
+            return 1
+        print("OK: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

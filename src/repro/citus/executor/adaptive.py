@@ -219,6 +219,9 @@ class AdaptiveExecutor:
 
             result = QueryResult([], [], command="COPY")
             result.rowcount = count
+        elif task.stmt is not None:
+            result = conn.execute_parsed(task.stmt, task.params,
+                                         allow_block=allow_block)
         else:
             result = conn.execute(task.sql, task.params, allow_block=allow_block)
         results[i] = result

@@ -22,6 +22,7 @@ from .ddl import DistributedDDL
 from .executor.adaptive import AdaptiveExecutor
 from .metadata import FIRST_SHARD_ID, MetadataStore
 from .planner.distributed import make_planner_hook
+from .planner.plan_cache import PlanCache
 from .txn.deadlock import detect_distributed_deadlocks
 from .txn.recovery import recover_prepared_transactions
 from .txn.twopc import TransactionCallbacks
@@ -71,10 +72,14 @@ class CitusExtension:
         self.config = config or CitusConfig()
         self.is_coordinator = is_coordinator
         self.metadata = MetadataStore(instance)
+        self.plan_cache = PlanCache(self)
         self.ddl = DistributedDDL(self)
         self.executor = AdaptiveExecutor(self)
         self.txn_callbacks = TransactionCallbacks(self)
         self.stats: Counter = Counter()
+        # citus_stat_counters_reset() baseline for the engine-level
+        # expression-compilation counter (a process-wide monotonic count).
+        self.expr_compile_baseline = 0
         self.failpoints: dict[str, bool] = {}
         self._utility_connections: dict[str, object] = {}
         self._shared_slots: Counter = Counter()  # outgoing conns per worker
@@ -395,8 +400,17 @@ def _register_udfs(ext: CitusExtension) -> None:
     def citus_stat_counters(session, *rest):
         """Rows of the citus_stat_counters view: [name, node, value] for
         every cluster-wide counter and gauge."""
+        from collections import Counter as _Counter
+
+        from ..engine.compile import compile_count
+
         out = []
         snap = ext.stat_counters.snapshot()
+        # Expression compilations happen in the engine layer (shared by all
+        # nodes of this process); surfaced here relative to the last reset.
+        compiled = compile_count() - ext.expr_compile_baseline
+        if compiled:
+            snap.counters["expr_compile_count"] = _Counter({"": compiled})
         for kind in (snap.counters, snap.gauges):
             for name in sorted(kind):
                 for node, value in sorted(kind[name].items()):
@@ -404,7 +418,10 @@ def _register_udfs(ext: CitusExtension) -> None:
         return out
 
     def citus_stat_reset(session):
+        from ..engine.compile import compile_count
+
         ext.stat_counters.reset()
+        ext.expr_compile_baseline = compile_count()
         return True
 
     def citus_explain(session, sql, *rest):
@@ -457,6 +474,7 @@ def _make_utility_hook(ext: CitusExtension):
         if isinstance(stmt, A.CreateIndex) and cache.is_citus_table(stmt.table):
             session.create_index_from_ast(stmt)
             ext.ddl.propagate_create_index(session, stmt)
+            ext.metadata.bump_generation()
             from ..engine.executor import QueryResult
 
             return QueryResult([], [], command="CREATE INDEX")
@@ -474,6 +492,7 @@ def _make_utility_hook(ext: CitusExtension):
                             ext.worker_connection(node).execute(
                                 f"DROP INDEX IF EXISTS {stmt.name}_{suffix}"
                             )
+                    ext.metadata.bump_generation()
                     from ..engine.executor import QueryResult
 
                     return QueryResult([], [], command="DROP INDEX")
@@ -481,6 +500,7 @@ def _make_utility_hook(ext: CitusExtension):
         if isinstance(stmt, A.AlterTable) and cache.is_citus_table(stmt.table):
             session._alter_table(stmt)
             ext.ddl.propagate_alter_table(session, stmt)
+            ext.metadata.bump_generation()
             from ..engine.executor import QueryResult
 
             return QueryResult([], [], command="ALTER TABLE")
@@ -501,6 +521,7 @@ def _make_utility_hook(ext: CitusExtension):
 
                 for name in citus_names:
                     ext.ddl.propagate_truncate(session, name)
+                ext.metadata.bump_generation()
                 local = [n for n in stmt.names if n not in citus_names]
                 if local:
                     session._execute_utility(A.TruncateTable(local), None, None)

@@ -174,6 +174,13 @@ class MetadataStore:
         self.instance = instance
         self.cache = MetadataCache()
         self._all_placements: dict[int, list[str]] = {}
+        # Monotonic metadata generation: every cache rebuild (DDL, shard
+        # moves, metadata sync) bumps it, invalidating cached distributed
+        # plans stamped with an older generation.
+        self.generation = 0
+
+    def bump_generation(self) -> None:
+        self.generation += 1
 
     # -------------------------------------------------------------- setup
 
@@ -314,6 +321,7 @@ class MetadataStore:
         ):
             self._all_placements.setdefault(shardid, []).append(nodename)
         self.cache = cache
+        self.bump_generation()
 
     def all_placements(self, shardid: int) -> list[str]:
         return list(self._all_placements.get(shardid, ()))

@@ -58,6 +58,7 @@ class DistributedExplain:
     subplan: dict | None = None  # repartition / insert..select structure
     is_write: bool = False
     local_plan: list[str] = field(default_factory=list)  # tier == "local" only
+    cached: bool = False  # replayed from the distributed plan cache
 
     # ------------------------------------------------------------ reading
 
@@ -85,6 +86,7 @@ class DistributedExplain:
             "merge_query": self.merge_query,
             "subplan": self.subplan,
             "is_write": self.is_write,
+            "cached": self.cached,
         }
 
     def as_text(self) -> str:
@@ -92,7 +94,8 @@ class DistributedExplain:
         if self.tier == "local":
             return "\n".join(self.local_plan or ["(local plan)"])
         lines = ["Custom Scan (Citus Adaptive)"]
-        lines.append(f"  Planner: {self.planner}  [tier: {self.tier}]")
+        marker = " (cached)" if self.cached else ""
+        lines.append(f"  Planner: {self.planner}{marker}  [tier: {self.tier}]")
         if self.total_shard_count is not None and self.pruned_shard_count is not None:
             targeted = self.total_shard_count - self.pruned_shard_count
             lines.append(
@@ -165,7 +168,7 @@ def describe_plan(plan, sql: str = "") -> DistributedExplain:
     info = info_fn()
     raw_tasks = info.get("tasks") or []
     tasks = [
-        TaskTarget(node=t.node, sql=getattr(t, "sql", None),
+        TaskTarget(node=t.node, sql=_task_sql(t),
                    shard_group=getattr(t, "shard_group", None))
         if not isinstance(t, TaskTarget) else t
         for t in raw_tasks
@@ -193,7 +196,16 @@ def describe_plan(plan, sql: str = "") -> DistributedExplain:
         merge_query=info.get("merge_query"),
         subplan=info.get("subplan"),
         is_write=bool(info.get("is_write", False)),
+        cached=bool(getattr(plan, "cached", False)),
     )
+
+
+def _task_sql(task) -> str | None:
+    """A task's shard SQL, deparsed lazily for AST-shipped tasks."""
+    sql_text = getattr(task, "sql_text", None)
+    if sql_text is not None:
+        return sql_text()
+    return getattr(task, "sql", None)
 
 
 def _total_shards_for_tasks(ext, tasks: list[TaskTarget]) -> int | None:

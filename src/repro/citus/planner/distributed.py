@@ -35,7 +35,10 @@ def make_planner_hook(ext):
             return None
         ext.stats["distributed_queries"] += 1
         ext.stat_counters.incr("planner_total")
-        plan = plan_statement(ext, session, stmt, params)
+        plan = ext.plan_cache.lookup(session, stmt, params)
+        if plan is None:
+            plan = plan_statement(ext, session, stmt, params)
+            ext.plan_cache.store(stmt, plan)
         tier = getattr(plan, "tier", None)
         if tier:
             ext.stat_counters.incr(f"planner_{tier}")
@@ -121,6 +124,8 @@ class CitusPlan(CustomScanPlan):
     #: Planner-cascade tier for observability ("fast_path", "router",
     #: "pushdown", "join_order", or a DML-specific tier).
     tier = "custom"
+    #: True when this plan was replayed from the distributed plan cache.
+    cached = False
 
     def __init__(self, ext):
         self.ext = ext
@@ -128,7 +133,8 @@ class CitusPlan(CustomScanPlan):
     def _explain_header(self, task_count: int, detail: str | None = None) -> list[str]:
         lines = [f"Custom Scan (Citus Adaptive)"]
         if detail:
-            lines.append(f"  Planner: {detail}")
+            marker = " (cached)" if self.cached else ""
+            lines.append(f"  Planner: {detail}{marker}")
         lines.append(f"  Task Count: {task_count}")
         return lines
 
@@ -159,7 +165,7 @@ class SingleTaskPlan(CitusPlan):
 
     def explain_lines(self):
         lines = self._explain_header(1, self.detail)
-        lines.append(f"  Task: {self.tasks[0].sql}")
+        lines.append(f"  Task: {self.tasks[0].sql_text()}")
         return lines
 
     def explain_info(self):
@@ -205,7 +211,7 @@ class MultiTaskDMLPlan(CitusPlan):
     def explain_lines(self):
         lines = self._explain_header(len(self.tasks), "Pushdown (DML)")
         if self.tasks:
-            lines.append(f"  Task: {self.tasks[0].sql}")
+            lines.append(f"  Task: {self.tasks[0].sql_text()}")
         return lines
 
     def explain_info(self):
@@ -223,11 +229,17 @@ class MultiTaskSelectPlan(CitusPlan):
 
     tier = "pushdown"
 
-    def __init__(self, ext, plan):
+    def __init__(self, ext, plan, bound=None):
         super().__init__(ext)
         self.plan = plan
+        # Plan-cache replay: merged (user + extracted-constant) parameters
+        # that the coordinator-side merge/limit evaluation must use instead
+        # of the raw user params.
+        self.bound = bound
 
     def execute(self, session, params):
+        if self.bound is not None:
+            params = self.bound
         results = self.ext.executor.execute_tasks(session, self.plan.tasks)
         all_rows = []
         columns = None
@@ -312,7 +324,7 @@ class MultiTaskSelectPlan(CitusPlan):
             "Pushdown" if self.plan.mode == "concat" else "Pushdown (partial aggregation)",
         )
         if self.plan.tasks:
-            lines.append(f"  Task: {self.plan.tasks[0].sql}")
+            lines.append(f"  Task: {self.plan.tasks[0].sql_text()}")
         if self.plan.mode == "merge":
             from ...sql.deparse import deparse
 
@@ -388,12 +400,10 @@ class InsertValuesPlan(CitusPlan):
                 on_conflict=stmt.on_conflict.copy() if stmt.on_conflict else None,
                 returning=[t.copy() for t in stmt.returning],
             )
-            from ...sql.deparse import deparse
-
             tasks.append(
-                Task(node, deparse(insert), None,
+                Task(node, None, None,
                      shard_group=(self.dist.colocation_id, index),
-                     returns_rows=bool(stmt.returning))
+                     returns_rows=bool(stmt.returning), stmt=insert)
             )
         results = self.ext.executor.execute_tasks(session, tasks, is_write=True)
         if session.in_transaction:
@@ -440,10 +450,11 @@ class ReferenceDMLPlan(CitusPlan):
         cache = self.ext.metadata.cache
         shard = self.dist.shards[0]
         nodes = self.ext.metadata.all_placements(shard.shardid)
-        sql = task_sql_for_shard(self.stmt, cache, None)
+        rewritten = rewrite_to_shard(self.stmt, cache, None)
         tasks = [
-            Task(node, sql, params, shard_group=(self.dist.colocation_id, 0, node),
-                 returns_rows=bool(getattr(self.stmt, "returning", [])))
+            Task(node, None, params, shard_group=(self.dist.colocation_id, 0, node),
+                 returns_rows=bool(getattr(self.stmt, "returning", [])),
+                 stmt=rewritten)
             for node in nodes
         ]
         results = self.ext.executor.execute_tasks(session, tasks, is_write=True)

@@ -10,8 +10,9 @@ high-throughput CRUD workloads pay almost no planning overhead.
 from __future__ import annotations
 
 from ...engine.datum import hash_value
+from ...engine.expr import BoundParams
 from ...sql import ast as A
-from .tasks import Task, task_sql_for_shard
+from .tasks import Task, rewrite_to_shard
 
 
 def try_fast_path(ext, stmt, params):
@@ -58,11 +59,11 @@ def _try_fast_path(ext, stmt, params):
     shard_index = dist.shard_index_for_value(value)
     shard = dist.shards[shard_index]
     node = cache.placement_node(shard.shardid)
-    sql = task_sql_for_shard(stmt, cache, shard_index)
+    shard_stmt = rewrite_to_shard(stmt, cache, shard_index)
     returns = isinstance(stmt, A.Select) or bool(getattr(stmt, "returning", None))
     return [
-        Task(node, sql, params, shard_group=(dist.colocation_id, shard_index),
-             returns_rows=returns)
+        Task(node, None, params, shard_group=(dist.colocation_id, shard_index),
+             returns_rows=returns, stmt=shard_stmt)
     ]
 
 
@@ -81,10 +82,10 @@ def _fast_path_insert(ext, stmt: A.Insert, params, cache):
     shard_index = dist.shard_index_for_value(value)
     shard = dist.shards[shard_index]
     node = cache.placement_node(shard.shardid)
-    sql = task_sql_for_shard(stmt, cache, shard_index)
+    shard_stmt = rewrite_to_shard(stmt, cache, shard_index)
     return [
-        Task(node, sql, params, shard_group=(dist.colocation_id, shard_index),
-             returns_rows=bool(stmt.returning))
+        Task(node, None, params, shard_group=(dist.colocation_id, shard_index),
+             returns_rows=bool(stmt.returning), stmt=shard_stmt)
     ]
 
 
@@ -147,6 +148,14 @@ def _const_of(expr, params):
 
         return cast_value(inner, expr.type_name)
     if isinstance(expr, A.Param):
+        if type(params) is BoundParams:
+            positional, named = params.positional, params.named
+            if expr.index is not None and positional is not None \
+                    and expr.index <= len(positional):
+                return positional[expr.index - 1]
+            if expr.name is not None and expr.name in named:
+                return named[expr.name]
+            return _MISS
         if expr.index is not None and isinstance(params, (list, tuple)):
             if expr.index <= len(params):
                 return params[expr.index - 1]

@@ -1,0 +1,433 @@
+"""Distributed plan cache.
+
+Planning a distributed statement repeats work that depends only on the
+statement's *shape*: the cascade walk, the equivalence analysis, and the
+per-shard query rewrite. This module caches that work keyed on a
+parameterized fingerprint of the statement — literals and parameter
+markers are normalized out — so repeated CRUD statements re-do only the
+value-dependent part of planning: extracting the distribution value (or
+pruning shards) from the newly bound parameters and picking placements
+against the *current* metadata.
+
+Correctness hinges on two rules:
+
+- **Templates, not plans, are replayed.** A cached entry never re-ships
+  artifacts that embed first-seen literal values. Replay starts from the
+  normalized template (literals replaced by synthetic ``__cN`` params) and
+  binds the current statement's extracted constants via
+  :class:`~repro.engine.expr.BoundParams`, so every execution sees its own
+  values. Per-shard rewritten ASTs are memoized per entry — they contain
+  only parameter markers, never values.
+- **Metadata generation.** Every entry records
+  ``MetadataStore.generation`` at store time; DDL propagation,
+  ``create_distributed_table`` and the shard rebalancer bump the counter,
+  so a lookup that observes a different generation discards the entry
+  instead of executing against stale shard placements.
+
+``GROUP BY`` / ``ORDER BY`` (and window ``PARTITION BY``) subtrees are
+kept verbatim in both the template and the fingerprint: positional
+references like ``GROUP BY 1`` are structurally significant to the
+planner's mode choice, so two statements differing there must not share a
+cache entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field as dc_field
+
+from ...engine.expr import BoundParams
+from ...engine.lru import LRUCache
+from ...errors import UnsupportedDistributedQuery
+from ...sql import ast as A
+from ..sharding import analyze_statement, prune_shards
+from .fast_path import _MISS, _insert_dist_value, _single_dist_value
+from .tasks import Task, rewrite_to_shard
+
+# Fields whose literal contents are planner-structural (positional group /
+# sort references) and therefore stay verbatim in template + fingerprint.
+_VERBATIM_FIELDS = {"group_by", "order_by", "partition_by", "distinct_on"}
+
+
+# ------------------------------------------------------- normalization
+
+def _normalize_value(value, consts: dict):
+    if isinstance(value, A.Literal):
+        name = f"__c{len(consts)}"
+        consts[name] = value.value
+        return A.Param(name=name)
+    if isinstance(value, A.Node):
+        changed = False
+        kwargs = {}
+        for f in dataclasses.fields(value):
+            old = getattr(value, f.name)
+            if f.name in _VERBATIM_FIELDS:
+                kwargs[f.name] = old
+                continue
+            new = _normalize_value(old, consts)
+            kwargs[f.name] = new
+            if new is not old:
+                changed = True
+        return type(value)(**kwargs) if changed else value
+    if isinstance(value, list):
+        new = [_normalize_value(v, consts) for v in value]
+        if any(a is not b for a, b in zip(new, value)):
+            return new
+        return value
+    if isinstance(value, tuple):
+        new = tuple(_normalize_value(v, consts) for v in value)
+        if any(a is not b for a, b in zip(new, value)):
+            return new
+        return value
+    return value
+
+
+def _fingerprint(value, parts: list) -> None:
+    """Serialize the normalized template into a stable shape key."""
+    if value is None:
+        parts.append("~")
+    elif isinstance(value, A.Param):
+        parts.append(f"$({value.index},{value.name})")
+    elif isinstance(value, A.Node):
+        parts.append(type(value).__name__)
+        parts.append("(")
+        for f in dataclasses.fields(value):
+            _fingerprint(getattr(value, f.name), parts)
+        parts.append(")")
+    elif isinstance(value, (list, tuple)):
+        parts.append("[")
+        for v in value:
+            _fingerprint(v, parts)
+        parts.append("]")
+    else:
+        parts.append(repr(value))
+
+
+def _eligible(stmt) -> bool:
+    if isinstance(stmt, (A.Select, A.Update, A.Delete)):
+        return True
+    if isinstance(stmt, A.Insert):
+        # Only the fast-path insert shape replays from a template; multi-row
+        # and positional inserts re-evaluate rows on the coordinator anyway.
+        return stmt.select is None and len(stmt.rows) == 1 and bool(stmt.columns)
+    return False
+
+
+_INELIGIBLE = object()
+
+# Normalization is memoized by statement identity: the engine's statement
+# cache returns the same AST object for repeated SQL text, so the walk and
+# fingerprint run once per distinct statement. Entries hold a strong
+# reference to the statement so its id() cannot be recycled underneath us.
+_NORM_CACHE = LRUCache(1024)
+
+
+def _normalize_statement(stmt):
+    """Return (template, consts, fingerprint) or None when ineligible."""
+    key = id(stmt)
+    memo = _NORM_CACHE.get(key)
+    if memo is not None and memo[0] is stmt:
+        result = memo[1]
+        return None if result is _INELIGIBLE else result
+    if not _eligible(stmt):
+        _NORM_CACHE.put(key, (stmt, _INELIGIBLE))
+        return None
+    consts: dict = {}
+    template = _normalize_value(stmt, consts)
+    parts: list = []
+    _fingerprint(template, parts)
+    result = (template, consts, "\x00".join(parts))
+    _NORM_CACHE.put(key, (stmt, result))
+    return result
+
+
+def make_bound(params, consts: dict) -> BoundParams:
+    """Merge user parameters with template-extracted constants."""
+    if isinstance(params, (list, tuple)):
+        return BoundParams(positional=params, named=consts)
+    if isinstance(params, dict):
+        if consts:
+            merged = dict(params)
+            merged.update(consts)
+            return BoundParams(named=merged)
+        return BoundParams(named=params)
+    return BoundParams(named=consts)
+
+
+# ------------------------------------------------------------- entries
+
+@dataclass
+class CachedPlanEntry:
+    kind: str  # "single" | "pushdown_select" | "pushdown_dml" | "uncacheable"
+    generation: int
+    template: object = None
+    mode: str = ""  # single: "where" | "insert" | "router"
+    tier: str = ""
+    detail: str = ""
+    is_write: bool = False
+    returns_rows: bool = True
+    stats_key: str = ""
+    table: str = ""
+    alias: str = ""
+    # pushdown_select: skeleton built from the template on the first hit
+    skeleton: object = None
+    # shard_index -> shard-rewritten template AST (parameter markers only;
+    # shared read-only across sessions)
+    shard_stmts: dict = dc_field(default_factory=dict)
+
+
+class PlanCache:
+    """Per-extension distributed plan cache with generation invalidation."""
+
+    def __init__(self, ext, capacity: int = 1024):
+        self.ext = ext
+        self.entries = LRUCache(capacity)
+
+    # ------------------------------------------------------------ lookup
+
+    def lookup(self, session, stmt, params):
+        norm = _normalize_statement(stmt)
+        if norm is None:
+            return None
+        template, consts, fingerprint = norm
+        counters = self.ext.stat_counters
+        entry = self.entries.get(fingerprint)
+        if entry is None:
+            counters.incr("plan_cache_misses")
+            return None
+        if entry.generation != self.ext.metadata.generation:
+            self.entries.delete(fingerprint)
+            counters.incr("plan_cache_invalidations")
+            counters.incr("plan_cache_misses")
+            return None
+        if entry.kind == "uncacheable":
+            counters.incr("plan_cache_misses")
+            return None
+        bound = make_bound(params, consts)
+        try:
+            plan = self._replay(session, entry, bound)
+        except Exception:
+            # A failing replay falls back to a full replan, which reproduces
+            # any real error with the statement itself.
+            plan = None
+        if plan is None:
+            counters.incr("plan_cache_misses")
+            return None
+        plan.cached = True
+        if entry.stats_key:
+            self.ext.stats[entry.stats_key] += 1
+        counters.incr("plan_cache_hits")
+        return plan
+
+    # ------------------------------------------------------------- store
+
+    def store(self, stmt, plan) -> None:
+        norm = _normalize_statement(stmt)
+        if norm is None:
+            return
+        template, _consts, fingerprint = norm
+        generation = self.ext.metadata.generation
+        existing = self.entries.get(fingerprint)
+        if existing is not None and existing.generation == generation:
+            return
+        entry = self._build_entry(template, plan, generation)
+        self.entries.put(fingerprint, entry)
+
+    def _build_entry(self, template, plan, generation) -> CachedPlanEntry:
+        from .distributed import (MultiTaskDMLPlan, MultiTaskSelectPlan,
+                                  SingleTaskPlan)
+
+        if isinstance(plan, SingleTaskPlan):
+            if plan.detail == "Fast Path Router":
+                if isinstance(template, A.Insert):
+                    mode, table, alias = "insert", template.table, template.table
+                elif isinstance(template, A.Select):
+                    ref = template.from_items[0]
+                    mode, table, alias = "where", ref.name, ref.ref_name
+                else:
+                    mode = "where"
+                    table = template.table
+                    alias = template.alias or template.table
+            else:
+                mode, table, alias = "router", "", ""
+            return CachedPlanEntry(
+                kind="single", generation=generation, template=template,
+                mode=mode, tier=plan.tier, detail=plan.detail,
+                is_write=plan.is_write,
+                returns_rows=plan.tasks[0].returns_rows,
+                stats_key="fast_path_queries" if plan.tier == "fast_path"
+                else "router_queries",
+                table=table, alias=alias,
+            )
+        if isinstance(plan, MultiTaskSelectPlan) and isinstance(template, A.Select):
+            inner = plan.plan
+            if inner.worker_query is not None and inner.anchor_alias is not None:
+                return CachedPlanEntry(
+                    kind="pushdown_select", generation=generation,
+                    template=template, tier=plan.tier,
+                    stats_key="pushdown_queries",
+                    table=inner.anchor_table, alias=inner.anchor_alias,
+                )
+        if isinstance(plan, MultiTaskDMLPlan) and isinstance(
+            template, (A.Update, A.Delete)
+        ):
+            return CachedPlanEntry(
+                kind="pushdown_dml", generation=generation, template=template,
+                tier=plan.tier, is_write=True, stats_key="pushdown_queries",
+                table=template.table,
+                alias=template.alias or template.table,
+            )
+        # InsertValuesPlan, reference/local plans, join-order and
+        # INSERT..SELECT plans re-plan every time.
+        return CachedPlanEntry(kind="uncacheable", generation=generation)
+
+    # ------------------------------------------------------------ replay
+
+    def _replay(self, session, entry: CachedPlanEntry, bound: BoundParams):
+        if entry.kind == "single":
+            if entry.mode == "router":
+                return self._replay_router(entry, bound)
+            return self._replay_single(entry, bound)
+        if entry.kind == "pushdown_select":
+            return self._replay_pushdown_select(entry, bound)
+        if entry.kind == "pushdown_dml":
+            return self._replay_pushdown_dml(entry, bound)
+        return None
+
+    def _shard_stmt(self, entry: CachedPlanEntry, cache, shard_index,
+                    template=None):
+        stmt = entry.shard_stmts.get(shard_index)
+        if stmt is None:
+            stmt = rewrite_to_shard(
+                template if template is not None else entry.template,
+                cache, shard_index,
+            )
+            entry.shard_stmts[shard_index] = stmt
+        return stmt
+
+    def _single_task_plan(self, entry, cache, dist, shard_index, bound):
+        from .distributed import SingleTaskPlan
+
+        node = cache.placement_node(dist.shards[shard_index].shardid)
+        task = Task(
+            node, None, bound,
+            shard_group=(dist.colocation_id, shard_index),
+            returns_rows=entry.returns_rows,
+            stmt=self._shard_stmt(entry, cache, shard_index),
+        )
+        return SingleTaskPlan(self.ext, [task], entry.detail,
+                              is_write=entry.is_write)
+
+    def _replay_single(self, entry: CachedPlanEntry, bound):
+        """Fast-path replay: only the distribution value is re-extracted."""
+        cache = self.ext.metadata.cache
+        dist = cache.tables.get(entry.table)
+        if dist is None or dist.is_reference:
+            return None
+        if entry.mode == "insert":
+            value = _insert_dist_value(entry.template, dist, bound, cache)
+        else:
+            value = _single_dist_value(entry.template.where, dist,
+                                       entry.alias, bound)
+        if value is _MISS:
+            return None
+        shard_index = dist.shard_index_for_value(value)
+        return self._single_task_plan(entry, cache, dist, shard_index, bound)
+
+    def _replay_router(self, entry: CachedPlanEntry, bound):
+        """Router replay re-runs the equivalence analysis (the routing
+        decision depends on the bound values), skipping the cascade."""
+        cache = self.ext.metadata.cache
+        analysis = analyze_statement(entry.template, cache, bound,
+                                     self.ext.instance.catalog)
+        dist = analysis.distributed
+        if not dist or analysis.locals:
+            return None
+        if len({o.dist.colocation_id for o in dist}) != 1:
+            return None
+        value, ok = analysis.common_constant()
+        if not ok:
+            return None
+        anchor = dist[0].dist
+        shard_index = anchor.shard_index_for_value(value)
+        return self._single_task_plan(entry, cache, anchor, shard_index, bound)
+
+    def _prune(self, entry: CachedPlanEntry, dist, where, bound):
+        shard_indexes = prune_shards(dist, where, bound, entry.alias)
+        pruned = len(dist.shards) - len(shard_indexes)
+        if pruned:
+            self.ext.stat_counters.incr("planner_shards_pruned", pruned)
+        return shard_indexes
+
+    def _replay_pushdown_select(self, entry: CachedPlanEntry, bound):
+        from .distributed import MultiTaskSelectPlan
+        from .pushdown import plan_pushdown_select
+
+        cache = self.ext.metadata.cache
+        if entry.skeleton is None:
+            # First hit: plan the template once. All later hits re-do only
+            # shard pruning + task construction from this skeleton.
+            analysis = analyze_statement(entry.template, cache, bound,
+                                         self.ext.instance.catalog)
+            try:
+                skeleton = plan_pushdown_select(self.ext, entry.template,
+                                                bound, analysis)
+            except UnsupportedDistributedQuery:
+                return None
+            if skeleton is None:
+                return None
+            entry.skeleton = skeleton
+            for task in skeleton.tasks:
+                entry.shard_stmts.setdefault(task.shard_group[1], task.stmt)
+            return self._rebind_tasks(entry, skeleton, bound)
+        dist = cache.tables.get(entry.table)
+        if dist is None or dist.is_reference:
+            return None
+        skeleton = entry.skeleton
+        shard_indexes = self._prune(entry, dist, skeleton.worker_query.where,
+                                    bound)
+        tasks = [
+            Task(
+                cache.placement_node(dist.shards[index].shardid), None, bound,
+                shard_group=(dist.colocation_id, index),
+                stmt=self._shard_stmt(entry, cache, index,
+                                      template=skeleton.worker_query),
+            )
+            for index in shard_indexes
+        ]
+        replayed = dataclasses.replace(skeleton, tasks=tasks)
+        return MultiTaskSelectPlan(self.ext, replayed, bound)
+
+    def _rebind_tasks(self, entry, skeleton, bound):
+        """Fresh per-execution tasks for the first-hit skeleton (its own
+        tasks carry the first hit's bindings)."""
+        from .distributed import MultiTaskSelectPlan
+
+        cache = self.ext.metadata.cache
+        tasks = [
+            Task(t.node, None, bound, shard_group=t.shard_group,
+                 returns_rows=t.returns_rows, stmt=t.stmt)
+            for t in skeleton.tasks
+        ]
+        return MultiTaskSelectPlan(
+            self.ext, dataclasses.replace(skeleton, tasks=tasks), bound
+        )
+
+    def _replay_pushdown_dml(self, entry: CachedPlanEntry, bound):
+        from .distributed import MultiTaskDMLPlan
+
+        cache = self.ext.metadata.cache
+        dist = cache.tables.get(entry.table)
+        if dist is None or dist.is_reference:
+            return None
+        shard_indexes = self._prune(entry, dist, entry.template.where, bound)
+        tasks = [
+            Task(
+                cache.placement_node(dist.shards[index].shardid), None, bound,
+                shard_group=(dist.colocation_id, index),
+                returns_rows=bool(getattr(entry.template, "returning", [])),
+                stmt=self._shard_stmt(entry, cache, index),
+            )
+            for index in shard_indexes
+        ]
+        return MultiTaskDMLPlan(self.ext, tasks)

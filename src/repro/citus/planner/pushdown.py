@@ -25,7 +25,7 @@ from ...errors import UnsupportedDistributedQuery
 from ...sql import ast as A
 from ...sql.deparse import deparse
 from ..sharding import QueryAnalysis, prune_shards
-from .tasks import Task, task_sql_for_shard
+from .tasks import Task, rewrite_to_shard
 
 
 @dataclass
@@ -48,6 +48,11 @@ class PushdownSelect:
     total_shards: int = 0
     pushed_down: list = field(default_factory=list)
     coordinator: list = field(default_factory=list)
+    # Plan-cache replay: the worker-side query shape and the anchor's alias,
+    # so a cached plan can re-prune shards and rebuild tasks from new
+    # parameter values without re-running the planner.
+    worker_query: A.Select | None = None
+    anchor_alias: str | None = None
 
 
 def plan_pushdown_select(ext, select: A.Select, params, analysis: QueryAnalysis):
@@ -245,6 +250,8 @@ def _plan_concat(ext, select, params, analysis, anchor, shard_indexes):
         total_shards=len(anchor.dist.shards),
         pushed_down=pushed_down,
         coordinator=coordinator,
+        worker_query=worker,
+        anchor_alias=anchor.alias,
     )
 
 
@@ -443,6 +450,8 @@ def _plan_merge(ext, select, params, analysis, anchor, shard_indexes):
         total_shards=len(anchor.dist.shards),
         pushed_down=pushed_down,
         coordinator=coordinator,
+        worker_query=worker_query,
+        anchor_alias=anchor.alias,
     )
 
 
@@ -458,9 +467,10 @@ def _make_tasks(ext, worker_query, params, anchor, shard_indexes) -> list[Task]:
     for index in shard_indexes:
         shard = anchor.dist.shards[index]
         node = cache.placement_node(shard.shardid)
-        sql = task_sql_for_shard(worker_query, cache, index)
+        shard_stmt = rewrite_to_shard(worker_query, cache, index)
         tasks.append(
-            Task(node, sql, params, shard_group=(anchor.dist.colocation_id, index))
+            Task(node, None, params, shard_group=(anchor.dist.colocation_id, index),
+                 stmt=shard_stmt)
         )
     return tasks
 
@@ -487,9 +497,9 @@ def plan_pushdown_dml(ext, stmt, params, analysis) -> list[Task] | None:
     for index in shard_indexes:
         shard = occ.dist.shards[index]
         node = cache.placement_node(shard.shardid)
-        sql = task_sql_for_shard(stmt, cache, index)
+        shard_stmt = rewrite_to_shard(stmt, cache, index)
         tasks.append(
-            Task(node, sql, params, shard_group=(occ.dist.colocation_id, index),
-                 returns_rows=bool(getattr(stmt, "returning", [])))
+            Task(node, None, params, shard_group=(occ.dist.colocation_id, index),
+                 returns_rows=bool(getattr(stmt, "returning", [])), stmt=shard_stmt)
         )
     return tasks

@@ -14,7 +14,7 @@ from __future__ import annotations
 from ...engine.datum import hash_value
 from ...sql import ast as A
 from ..sharding import analyze_statement
-from .tasks import Task, task_sql_for_shard
+from .tasks import Task, rewrite_to_shard
 
 
 def try_router(ext, stmt, params, analysis=None):
@@ -44,9 +44,9 @@ def _try_router(ext, stmt, params, analysis=None):
     anchor = dist[0].dist
     shard_index = anchor.shard_index_for_value(value)
     node = cache.placement_node(anchor.shards[shard_index].shardid)
-    sql = task_sql_for_shard(stmt, cache, shard_index)
+    shard_stmt = rewrite_to_shard(stmt, cache, shard_index)
     returns = isinstance(stmt, A.Select) or bool(getattr(stmt, "returning", []))
     return [
-        Task(node, sql, params, shard_group=(anchor.colocation_id, shard_index),
-             returns_rows=returns)
+        Task(node, None, params, shard_group=(anchor.colocation_id, shard_index),
+             returns_rows=returns, stmt=shard_stmt)
     ]

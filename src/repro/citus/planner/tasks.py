@@ -17,7 +17,7 @@ from ...sql.deparse import deparse
 @dataclass
 class Task:
     node: str
-    sql: str
+    sql: str | None
     params: object = None
     # (colocation_id, shard_index): tasks touching the same co-located shard
     # group must reuse the same connection within a transaction (§3.6.1).
@@ -27,6 +27,40 @@ class Task:
     copy_rows: list | None = None
     copy_table: str | None = None
     copy_columns: list | None = None
+    # Pre-parsed rewritten statement. When set, the executor ships the AST
+    # directly (no deparse → lex → parse round-trip) and ``sql`` is only
+    # materialized lazily for EXPLAIN/observability via :meth:`sql_text`.
+    # Shard-rewritten ASTs may be shared across tasks and sessions, so they
+    # must never be mutated downstream.
+    stmt: object = None
+
+    def sql_text(self) -> str | None:
+        if self.sql is None and self.stmt is not None:
+            stmt = self.stmt
+            from ...engine.expr import BoundParams
+
+            if type(self.params) is BoundParams:
+                # Plan-cache replay templates carry synthetic parameter
+                # markers; substitute the bound values so EXPLAIN shows the
+                # same SQL a freshly planned statement would.
+                stmt = _substitute_bound(stmt, self.params)
+            self.sql = deparse(stmt)
+        return self.sql
+
+
+def _substitute_bound(stmt, bound):
+    """Replace every resolvable parameter marker with its bound value."""
+
+    def visit(node):
+        if isinstance(node, A.Param):
+            if node.index is not None and bound.positional is not None \
+                    and node.index <= len(bound.positional):
+                return A.Literal(bound.positional[node.index - 1])
+            if node.name is not None and node.name in bound.named:
+                return A.Literal(bound.named[node.name])
+        return node
+
+    return A.transform(stmt.copy(), visit)
 
 
 def rewrite_to_shard(stmt, cache, shard_index: int | None):

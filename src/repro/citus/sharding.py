@@ -335,6 +335,16 @@ def _constant_value(expr, params):
         inner = _constant_value(expr.operand, params)
         return cast_value(inner, expr.type_name) if inner is not _NO_VALUE else _NO_VALUE
     if isinstance(expr, A.Param):
+        from ..engine.expr import BoundParams
+
+        if type(params) is BoundParams:
+            positional, named = params.positional, params.named
+            if expr.index is not None and positional is not None \
+                    and expr.index <= len(positional):
+                return positional[expr.index - 1]
+            if expr.name is not None and expr.name in named:
+                return named[expr.name]
+            return _NO_VALUE
         if expr.index is not None and isinstance(params, (list, tuple)):
             if expr.index <= len(params):
                 return params[expr.index - 1]

@@ -34,6 +34,7 @@ from ..sql import ast as A
 from ..sql.deparse import deparse
 from .catalog import IndexDef, Table
 from .datum import cast_value, compare_values, sort_key, to_text
+from .compile import get_compiled
 from .expr import EvalContext, Row, evaluate
 from .functions import SET_RETURNING_FUNCTIONS, get_aggregate, is_aggregate
 from .index import BTreeIndex, GinIndex
@@ -148,9 +149,10 @@ class LocalExecutor:
                                  where=select.where)
         # WHERE
         if select.where is not None:
+            predicate = get_compiled(select.where)
             rel.rows = [
                 row for row in rel.rows
-                if evaluate(select.where, self._ctx(row, params, outer)) is True
+                if predicate(self._ctx(row, params, outer)) is True
             ]
         targets = _expand_stars(select.targets, rel)
         columns = _output_names(targets)
@@ -167,10 +169,11 @@ class LocalExecutor:
                 )
             pairs = self._aggregate(select, targets, rel, params, outer)
         else:
+            target_fns = [get_compiled(t.expr) for t in targets]
             pairs = []
             for row in rel.rows:
                 ctx = self._ctx(row, params, outer)
-                pairs.append(([evaluate(t.expr, ctx) for t in targets], row))
+                pairs.append(([fn(ctx) for fn in target_fns], row))
         return columns, pairs
 
     def _compute_windows(self, select, targets, rel, params, outer):
@@ -246,9 +249,10 @@ class LocalExecutor:
         group_order: list[tuple] = []
         representative: dict[tuple, Row] = {}
         distinct_seen: dict[tuple, set] = {}
+        group_fns = [get_compiled(g) for g in group_exprs]
         for row in rel.rows:
             ctx = self._ctx(row, params, outer)
-            key = tuple(_group_key(evaluate(g, ctx)) for g in group_exprs)
+            key = tuple(_group_key(fn(ctx)) for fn in group_fns)
             if key not in groups:
                 groups[key] = [get_aggregate(n.name).init() for n in agg_nodes]
                 group_order.append(key)
@@ -590,9 +594,12 @@ class LocalExecutor:
                                       condition, params, outer)
             return swapped
         table: dict[tuple, list[Row]] = {}
+        right_key_fns = [get_compiled(k) for k in right_keys]
+        left_key_fns = [get_compiled(k) for k in left_keys]
+        qual = get_compiled(condition)
         for row in right.rows:
             ctx = self._ctx(row, params, outer)
-            key = tuple(_group_key(evaluate(k, ctx)) for k in right_keys)
+            key = tuple(_group_key(fn(ctx)) for fn in right_key_fns)
             if any(k == ("null",) for k in key):
                 continue
             table.setdefault(key, []).append(row)
@@ -600,12 +607,12 @@ class LocalExecutor:
         matched_right: set[int] = set()
         for lrow in left.rows:
             lctx = self._ctx(lrow, params, outer)
-            key = tuple(_group_key(evaluate(k, lctx)) for k in left_keys)
+            key = tuple(_group_key(fn(lctx)) for fn in left_key_fns)
             matches = table.get(key, [])
             found = False
             for rrow in matches:
                 merged = lrow.merge(rrow)
-                if evaluate(condition, self._ctx(merged, params, outer)) is True:
+                if qual(self._ctx(merged, params, outer)) is True:
                     out_rows.append(merged)
                     matched_right.add(id(rrow))
                     found = True
@@ -621,11 +628,12 @@ class LocalExecutor:
     def _nested_loop(self, join_type, left, right, condition, params, outer) -> RelOutput:
         out_rows = []
         matched_right: set[int] = set()
+        qual = get_compiled(condition)
         for lrow in left.rows:
             found = False
             for rrow in right.rows:
                 merged = lrow.merge(rrow)
-                if evaluate(condition, self._ctx(merged, params, outer)) is True:
+                if qual(self._ctx(merged, params, outer)) is True:
                     out_rows.append(merged)
                     matched_right.add(id(rrow))
                     found = True
@@ -865,9 +873,10 @@ class LocalExecutor:
         self.session.acquire_table_lock(table.name, "RowExclusive")
         alias = stmt.alias or stmt.table
         rel = self._scan_table(table, alias, params, None, stmt.where)
+        predicate = get_compiled(stmt.where) if stmt.where is not None else None
         target_rows = []
         for row in rel.rows:
-            if stmt.where is None or evaluate(stmt.where, self._ctx(row, params)) is True:
+            if predicate is None or predicate(self._ctx(row, params)) is True:
                 target_rows.append(row)
         updated = 0
         returned = []
@@ -875,6 +884,10 @@ class LocalExecutor:
         # Two-phase: acquire every row lock before mutating anything, so a
         # lock wait (parked statement) can re-run the statement from scratch
         # without double-applying assignments.
+        assignments = [
+            (table.column_index(col_name), get_compiled(expr))
+            for col_name, expr in stmt.assignments
+        ]
         for row in target_rows:
             _table_name, row_id, _tid = row.provenance[alias]
             self.session.acquire_row_lock(table.name, row_id)
@@ -890,9 +903,8 @@ class LocalExecutor:
                 continue
             ctx = self._ctx(row, params)
             new_values = list(current.values)
-            for col_name, expr in stmt.assignments:
-                idx = table.column_index(col_name)
-                new_values[idx] = cast_value(evaluate(expr, ctx), table.columns[idx].type_name)
+            for idx, assign_fn in assignments:
+                new_values[idx] = cast_value(assign_fn(ctx), table.columns[idx].type_name)
             self._check_not_null(table, new_values)
             self._check_foreign_keys(table, new_values)
             self._check_update_unique(table, current, new_values)
@@ -932,9 +944,10 @@ class LocalExecutor:
         deleted = 0
         returned = []
         names = table.column_names()
+        predicate = get_compiled(stmt.where) if stmt.where is not None else None
         target_rows = [
             row for row in rel.rows
-            if stmt.where is None or evaluate(stmt.where, self._ctx(row, params)) is True
+            if predicate is None or predicate(self._ctx(row, params)) is True
         ]
         for row in target_rows:
             _table_name, row_id, _tid = row.provenance[alias]

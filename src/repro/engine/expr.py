@@ -20,6 +20,24 @@ from ..errors import CatalogError, DataError
 from ..sql import ast as A
 from .datum import cast_value, compare_values, to_text
 from .functions import SCALAR_FUNCTIONS, is_aggregate
+from .lru import LRUCache
+
+
+class BoundParams:
+    """Parameter bindings for a cached distributed plan.
+
+    A plan-cache template replaces the statement's literals with synthetic
+    named parameters (``__c0``, ``__c1``, ...); at execution time the
+    extracted constant values are merged with the user's positional or
+    named parameters into one object that answers both ``$n`` and
+    ``:name`` lookups.
+    """
+
+    __slots__ = ("positional", "named")
+
+    def __init__(self, positional=None, named=None):
+        self.positional = positional  # list/tuple or None
+        self.named = named if named is not None else {}
 
 
 class AmbiguousColumn(DataError):
@@ -128,6 +146,15 @@ def _literal(node: A.Literal, ctx):
 
 def _param(node: A.Param, ctx):
     params = ctx.params
+    if type(params) is BoundParams:
+        if node.index is not None:
+            positional = params.positional
+            if positional is None or node.index > len(positional):
+                raise DataError(f"no value for parameter ${node.index}")
+            return positional[node.index - 1]
+        if node.name in params.named:
+            return params.named[node.name]
+        raise DataError(f"no value for parameter :{node.name}")
     if node.index is not None:
         if not isinstance(params, (list, tuple)) or node.index > len(params):
             raise DataError(f"no value for parameter ${node.index}")
@@ -203,7 +230,7 @@ def _unary(node: A.UnaryOp, ctx):
     raise DataError(f"unknown unary operator {node.op!r}")
 
 
-_LIKE_CACHE: dict[tuple, re.Pattern] = {}
+_LIKE_CACHE = LRUCache(4096)
 
 
 def like_match(text: str, pattern: str, case_insensitive: bool) -> bool:
@@ -218,9 +245,7 @@ def like_match(text: str, pattern: str, case_insensitive: bool) -> bool:
             .replace(r"\_", ".").replace("_", ".")
         )
         regex = re.compile("^" + escaped + "$", re.IGNORECASE | re.DOTALL if case_insensitive else re.DOTALL)
-        if len(_LIKE_CACHE) > 4096:
-            _LIKE_CACHE.clear()
-        _LIKE_CACHE[key] = regex
+        _LIKE_CACHE.put(key, regex)
     return regex.match(text) is not None
 
 

@@ -43,20 +43,18 @@ from .executor import LocalExecutor, QueryResult
 from .hooks import BackgroundWorker, HookRegistry
 from .index import BTreeIndex, GinIndex
 from .locks import LockManager, WouldBlock
+from .lru import LRUCache
 from .mvcc import XidManager
 from .wal import WriteAheadLog
 
-_statement_cache: dict[str, list] = {}
-_STATEMENT_CACHE_MAX = 8192
+_statement_cache = LRUCache(8192)
 
 
 def _parse_cached(sql: str) -> list:
     stmts = _statement_cache.get(sql)
     if stmts is None:
         stmts = parse(sql)
-        if len(_statement_cache) > _STATEMENT_CACHE_MAX:
-            _statement_cache.clear()
-        _statement_cache[sql] = stmts
+        _statement_cache.put(sql, stmts)
     return stmts
 
 
@@ -353,6 +351,29 @@ class Session:
         if len(stmts) != 1:
             raise SyntaxErrorSQL("execute_async takes a single statement")
         stmt = stmts[0]
+        try:
+            result = self._dispatch(stmt, params, None, park_on_block=True)
+        except _Parked as parked:
+            return parked.handle
+        handle = _ParkedStatement(self, stmt, params, None)
+        handle.succeed(result)
+        return handle
+
+    def execute_parsed(self, stmt: A.Statement, params=None) -> QueryResult:
+        """Execute a single pre-parsed statement, skipping the lexer and
+        parser. Used by the deparse-free distributed task path: the
+        coordinator ships the rewritten AST instead of SQL text. The AST
+        must be treated as immutable — it may be shared across sessions."""
+        if not self.instance.is_up:
+            from ..errors import NodeUnavailable
+
+            raise NodeUnavailable(
+                f"terminating connection: node {self.instance.name!r} went down"
+            )
+        return self._dispatch(stmt, params, None)
+
+    def execute_parsed_async(self, stmt: A.Statement, params=None) -> _ParkedStatement:
+        """Pre-parsed variant of :meth:`execute_async`."""
         try:
             result = self._dispatch(stmt, params, None, park_on_block=True)
         except _Parked as parked:

@@ -1,0 +1,52 @@
+"""A small bounded LRU mapping shared by the engine's hot-path caches.
+
+Used by the statement cache, the LIKE-pattern regex cache, the compiled
+expression cache, and the distributed plan cache. Eviction is one entry
+at a time (least recently used first), so a full cache never causes the
+latency cliff of a wholesale ``dict.clear()``.
+
+Relies on dict insertion order: a ``pop`` + reinsert moves an entry to
+the most-recently-used position, and ``next(iter(...))`` is the least
+recently used entry.
+"""
+
+from __future__ import annotations
+
+
+class LRUCache:
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("LRU capacity must be positive")
+        self.capacity = capacity
+        self._data: dict = {}
+
+    def get(self, key, default=None):
+        data = self._data
+        try:
+            value = data.pop(key)
+        except KeyError:
+            return default
+        data[key] = value
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self.capacity:
+            del data[next(iter(data))]
+        data[key] = value
+
+    def delete(self, key) -> None:
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data

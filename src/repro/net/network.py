@@ -91,6 +91,24 @@ class RemoteConnection:
             raise RemoteBlocked(handle, self)
         return self.session.execute(sql, params)
 
+    def execute_parsed(self, stmt, params=None, payload_bytes: int = 256,
+                       allow_block: bool = False):
+        """Ship a pre-parsed statement AST to the worker backend, skipping
+        the deparse → lexer → parser round-trip. Network cost accounting is
+        identical to :meth:`execute` — the simulation charges for the wire
+        exchange, not for parsing."""
+        if self.closed:
+            raise NodeUnavailable(f"connection to {self.node_name} is closed")
+        self.round_trips += 1
+        latency = self.network.note_round_trip(payload_bytes)
+        self.elapsed += latency
+        if allow_block:
+            handle = self.session.execute_parsed_async(stmt, params)
+            if handle.done:
+                return handle.get()
+            raise RemoteBlocked(handle, self)
+        return self.session.execute_parsed(stmt, params)
+
     def execute_async(self, sql: str, params=None):
         self.round_trips += 1
         self.elapsed += self.network.note_round_trip()

@@ -190,6 +190,9 @@ class TestRenderings:
         assert e.tier == "fast_path"
 
     def test_udf_returns_same_text(self, s):
+        # Warm the plan cache so both renderings describe a replayed plan
+        # (the second planning of a statement carries the "(cached)" marker).
+        explain(s, "SELECT * FROM orders WHERE id = 3")
         text = s.execute(
             "SELECT citus_explain('SELECT * FROM orders WHERE id = 3')"
         ).scalar()
