@@ -1,0 +1,164 @@
+"""Streaming data-plane benchmark: the pull-based tuple pipeline vs. the
+materializing fallback, through the real planner + executor code path.
+
+Three query shapes, chosen to exercise the three coordinator merge
+strategies of the streaming pipeline:
+
+- **limit_scan** — ``SELECT … LIMIT k`` without ORDER BY: the streaming
+  plane dispatches tasks lazily, stops at the first satisfied batch, and
+  skips the remaining shards entirely (plus the worker-side lazy heap
+  scan stops after k tuples);
+- **order_by_limit** — ``SELECT … ORDER BY col LIMIT k``: k-way
+  merge-append over per-shard sorted streams, draining one batch per
+  stream instead of materializing every shard's full result;
+- **full_scan_order** — un-limited ``ORDER BY`` over the whole table:
+  throughput parity check (streaming must not slow the drain-everything
+  case down), plus the bounded-buffer guarantee.
+
+Each shape runs twice — ``citus.enable_streaming_pipeline`` on and off
+(toggled directly on the extension config) — and reports both
+throughputs and the speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py [--quick]
+        [--out results.json] [--baseline baseline.json]
+
+``--baseline`` compares limit_scan streaming throughput against a
+checked-in baseline JSON and exits non-zero on a >30% regression, and
+independently fails if ``rows_buffered_peak`` for the order_by_limit
+shape exceeds the batch_size × shard_count ceiling (the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import make_cluster  # noqa: E402
+
+#: Fraction of baseline limit_scan throughput below which --baseline fails.
+REGRESSION_FLOOR = 0.70
+
+ROWS = 10_000
+SHARDS = 8
+
+
+def _setup():
+    cluster = make_cluster(workers=2, shard_count=SHARDS,
+                           max_connections=2000)
+    session = cluster.coordinator_session()
+    session.execute(
+        "CREATE TABLE events (k int PRIMARY KEY, v int, label text)"
+    )
+    session.execute("SELECT create_distributed_table('events', 'k')")
+    rows = [[k, k % 500, f"label-{k}"] for k in range(1, ROWS + 1)]
+    session.copy_rows("events", rows, ["k", "v", "label"])
+    return cluster, session
+
+
+QUERIES = {
+    "limit_scan": "SELECT k, v FROM events LIMIT 10",
+    "order_by_limit": "SELECT k, v FROM events ORDER BY v, k LIMIT 10",
+    "full_scan_order": "SELECT k FROM events ORDER BY v",
+}
+
+
+def _bench_query(session, sql: str, iterations: int) -> dict:
+    session.execute(sql)  # warm-up: parse + plan cache
+    start = time.perf_counter()
+    for _ in range(iterations):
+        session.execute(sql)
+    elapsed = time.perf_counter() - start
+    return {"statements": iterations, "seconds": elapsed,
+            "stmts_per_sec": iterations / elapsed}
+
+
+def run(quick: bool = False) -> dict:
+    iters = {
+        "limit_scan": 50 if quick else 200,
+        "order_by_limit": 50 if quick else 200,
+        "full_scan_order": 10 if quick else 40,
+    }
+    cluster, session = _setup()
+    ext = cluster.coordinator_ext
+    results: dict = {}
+    for name, sql in QUERIES.items():
+        ext.config.enable_streaming_pipeline = True
+        streaming = _bench_query(session, sql, iters[name])
+        report = ext.executor.last_report
+        streaming["rows_buffered_peak"] = report.rows_buffered_peak
+        streaming["tasks_skipped"] = report.tasks_skipped
+        ext.config.enable_streaming_pipeline = False
+        materialized = _bench_query(session, sql, iters[name])
+        ext.config.enable_streaming_pipeline = True
+        results[name] = {
+            "streaming": streaming,
+            "materialized": materialized,
+            "speedup": streaming["stmts_per_sec"] / materialized["stmts_per_sec"],
+        }
+    return {
+        "config": {"workers": 2, "shard_count": SHARDS, "rows": ROWS,
+                   "batch_size": ext.config.stream_batch_size,
+                   "quick": quick},
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--out", help="write results JSON to this path")
+    parser.add_argument("--baseline",
+                        help="baseline JSON; fail on >30%% limit_scan "
+                             "regression or unbounded merge buffer")
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick)
+    for name, r in report["results"].items():
+        s, m = r["streaming"], r["materialized"]
+        print(f"{name:>16}: streaming {s['stmts_per_sec']:>8.1f}"
+              f" vs materialized {m['stmts_per_sec']:>8.1f} stmts/sec"
+              f"  ({r['speedup']:.2f}x, peak buffer {s['rows_buffered_peak']})")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.out}")
+
+    if args.baseline:
+        failed = False
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        base = baseline["results"]["limit_scan"]["streaming"]["stmts_per_sec"]
+        now = report["results"]["limit_scan"]["streaming"]["stmts_per_sec"]
+        floor = base * REGRESSION_FLOOR
+        print(f"limit_scan (streaming): {now:.1f} vs baseline {base:.1f}"
+              f" (floor {floor:.1f})")
+        if now < floor:
+            print("FAIL: streaming limit_scan throughput regressed >30%")
+            failed = True
+        ceiling = report["config"]["batch_size"] * SHARDS
+        peak = report["results"]["order_by_limit"]["streaming"]["rows_buffered_peak"]
+        print(f"order_by_limit peak buffer: {peak} (ceiling {ceiling})")
+        if not 0 < peak <= ceiling:
+            print("FAIL: coordinator merge buffer exceeded"
+                  " batch_size x shard_count")
+            failed = True
+        if report["results"]["limit_scan"]["speedup"] <= 1.0:
+            print("FAIL: streaming no faster than materializing on LIMIT scan")
+            failed = True
+        if failed:
+            return 1
+        print("OK: within regression budget, buffer bounded")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,12 @@ class ExecutionReport:
     connections_reused: int = 0
     elapsed: float = 0.0
     per_node_connections: dict = field(default_factory=dict)
+    # Streaming pipeline telemetry (zero on the materializing path).
+    bytes_streamed: int = 0
+    batches_fetched: int = 0
+    rows_buffered_peak: int = 0
+    early_terminations: int = 0
+    tasks_skipped: int = 0
 
 
 class AdaptiveExecutor:
@@ -134,6 +140,7 @@ class AdaptiveExecutor:
         allow_block = report.task_count == 1
 
         # Run affinity-assigned tasks first on their own connections.
+        conn_ids = {id(c) for c in conns}
         for bundle in assigned.values():
             for conn, i, task in bundle:
                 start = busy.get(id(conn), 0.0)
@@ -141,8 +148,9 @@ class AdaptiveExecutor:
                                         need_txn_block, allow_block, is_write)
                 busy[id(conn)] = start + cost
                 used_conn_ids.add(id(conn))
-                if id(conn) not in [id(c) for c in conns]:
+                if id(conn) not in conn_ids:
                     conns.append(conn)
+                    conn_ids.add(id(conn))
 
         # General pool with slow start: connections may be opened as
         # simulated time passes (n grows by 1 every interval).
@@ -230,6 +238,313 @@ class AdaptiveExecutor:
         rows = result.rowcount if result.rowcount else len(result.rows)
         cpu_cost = rows * self.ext.config.per_row_cpu_cost
         return (conn.elapsed - before) + cpu_cost
+
+
+    # -------------------------------------------------------- streaming
+
+    def open_task_streams(self, session, tasks):
+        """Streaming entry point for multi-shard SELECTs: returns a
+        :class:`StreamingExecution` whose per-task :class:`TaskStream`
+        handles pull row batches on demand, or None when streaming does
+        not apply (disabled by GUC, no tasks, or non-SELECT tasks) and the
+        caller must fall back to :meth:`execute_tasks`."""
+        config = self.ext.config
+        if not getattr(config, "enable_streaming_pipeline", True):
+            return None
+        if not tasks or self.ext.cluster is None:
+            return None
+        if any(t.copy_rows is not None or not t.returns_rows for t in tasks):
+            return None
+        return StreamingExecution(self, session, tasks,
+                                  batch_size=config.stream_batch_size)
+
+
+class TaskStream:
+    """Pull handle for one task's rows. The remote cursor opens lazily on
+    first fetch, so a coordinator merge that is satisfied early never
+    dispatches the remaining tasks at all."""
+
+    __slots__ = ("execution", "index", "task", "cursor", "conn", "opened",
+                 "done", "failed")
+
+    def __init__(self, execution: "StreamingExecution", index: int, task):
+        self.execution = execution
+        self.index = index
+        self.task = task
+        self.cursor = None
+        self.conn = None
+        self.opened = False
+        self.done = False
+        self.failed = False
+
+    @property
+    def columns(self):
+        self.ensure_open()
+        return self.cursor.columns
+
+    def ensure_open(self) -> None:
+        if not self.opened:
+            self.execution._open_stream(self)
+
+    def fetch(self):
+        """Next row batch, or None once this shard stream is drained."""
+        if self.done:
+            return None
+        self.ensure_open()
+        return self.execution._fetch(self)
+
+    def close(self) -> None:
+        self.execution._close_stream(self)
+
+
+class StreamingExecution:
+    """One multi-shard SELECT executed as per-task remote cursors.
+
+    Execution stays functionally sequential (single-threaded simulation),
+    but the timeline is reconstructed as if the shard streams drained in
+    parallel: every dispatch/fetch charges simulated busy time to the
+    connection it ran on — slow start and connection affinity apply
+    exactly as on the blocking path — and :meth:`finish` advances the
+    clock by the maximum busy time over connections.
+    """
+
+    def __init__(self, executor: AdaptiveExecutor, session, tasks, batch_size: int):
+        self.executor = executor
+        self.ext = executor.ext
+        self.session = session
+        self.tasks = tasks
+        self.batch_size = batch_size
+        self.pools = SessionPools.for_session(session, self.ext)
+        self.counters = self.ext.stat_counters
+        self.report = ExecutionReport(task_count=len(tasks))
+        self.streams = [TaskStream(self, i, t) for i, t in enumerate(tasks)]
+        self.need_txn_block = session.in_transaction
+        self._node_state: dict[str, dict] = {}
+        self._unopened: dict[str, int] = {}
+        for task in tasks:
+            self._unopened[task.node] = self._unopened.get(task.node, 0) + 1
+        self._early_noted = False
+        self._finished = False
+        self.counters.incr("executor_statements")
+        self.counters.gauge_incr("executor_statements_in_flight")
+
+    # -------------------------------------------------- merge-side hooks
+
+    def note_buffered(self, n: int) -> None:
+        """Record the coordinator merge's current buffered row count."""
+        if n > self.report.rows_buffered_peak:
+            self.report.rows_buffered_peak = n
+
+    def note_early_termination(self) -> None:
+        """The merge is satisfied with shard streams still undrained."""
+        if not self._early_noted:
+            self._early_noted = True
+            self.report.early_terminations += 1
+            self.counters.incr("early_terminations")
+
+    # ------------------------------------------------- per-node timeline
+
+    def _node(self, node: str) -> dict:
+        state = self._node_state.get(node)
+        if state is None:
+            conns = list(self.pools.idle_connections(node))
+            state = {
+                "conns": conns,
+                "busy": {id(c): 0.0 for c in conns},
+                "preexisting": {id(c) for c in conns},
+                "used": set(),
+            }
+            self._node_state[node] = state
+        return state
+
+    def _open_connection(self, node: str, state: dict, now: float):
+        if not self.ext.try_reserve_shared_slot(node, force=not state["conns"]):
+            return None
+        try:
+            conn = self.pools.open_connection(node)
+        except NodeUnavailable:
+            self.ext.release_shared_slot(node)
+            raise
+        state["conns"].append(conn)
+        state["busy"][id(conn)] = now + self.ext.cluster.network.connection_setup_cost()
+        self.report.connections_opened += 1
+        self.counters.incr("connections_opened", node=node)
+        return conn
+
+    def _pick_connection(self, node: str, state: dict):
+        conns = state["conns"]
+        busy = state["busy"]
+        if not conns:
+            conn = self._open_connection(node, state, 0.0)
+            if conn is None:
+                raise NodeUnavailable(f"no connection available to {node}")
+            return conn
+        conn = min(conns, key=lambda c: busy[id(c)])
+        now = busy[id(conn)]
+        # Slow start, as on the blocking path: the pool target grows by
+        # one per interval of simulated time (§3.6.1).
+        allowance = 1 + int(now / self.executor.slow_start_interval)
+        in_use = sum(1 for c in conns if busy[id(c)] > now)
+        target = min(allowance, self._unopened.get(node, 0) + 1 + in_use)
+        if len(conns) < target:
+            new_conn = self._open_connection(node, state, now)
+            if new_conn is not None:
+                conn = new_conn
+        return conn
+
+    # ------------------------------------------------------ stream plumbing
+
+    def _open_stream(self, stream: TaskStream) -> None:
+        task = stream.task
+        node = task.node
+        state = self._node(node)
+        self._unopened[node] = max(0, self._unopened.get(node, 1) - 1)
+        conn = None
+        if task.shard_group is not None:
+            # Transaction affinity: the connection that already touched
+            # this co-located shard group must run the task.
+            conn = self.pools.connection_for_group(node, task.shard_group)
+            if conn is not None and id(conn) not in state["busy"]:
+                state["conns"].append(conn)
+                state["busy"][id(conn)] = 0.0
+                state["preexisting"].add(id(conn))
+        if conn is None:
+            conn = self._pick_connection(node, state)
+        stream.conn = conn
+        stream.opened = True
+        state["used"].add(id(conn))
+        if self.need_txn_block:
+            conn.begin_if_needed()
+            self.session.remote_txns[id(conn)] = conn
+            conn.session.ensure_xid()
+            from ..txn.deadlock import assign_distributed_txn_ids
+
+            assign_distributed_txn_ids(self.ext, self.session)
+        if task.shard_group is not None:
+            conn.accessed_groups.add(task.shard_group)
+        self.counters.gauge_incr("tasks_in_flight", node=node)
+        before = conn.elapsed
+        try:
+            stream.cursor = conn.execute_cursor(
+                task.stmt, task.params, batch_size=self.batch_size, sql=task.sql,
+            )
+        except WouldBlock as block:
+            self._stream_finished(stream, failed=True, blocked=True)
+            from ...errors import LockTimeout
+
+            raise LockTimeout(f"could not obtain lock: {block}") from None
+        except Exception:
+            self._stream_finished(stream, failed=True)
+            raise
+        busy = state["busy"]
+        busy[id(conn)] = busy.get(id(conn), 0.0) + (conn.elapsed - before)
+
+    def _fetch(self, stream: TaskStream):
+        conn = stream.conn
+        before = conn.elapsed
+        try:
+            batch = stream.cursor.fetch_batch()
+        except WouldBlock as block:
+            # Multi-task statements never park; a remote lock wait during
+            # a fetch surfaces as a lock timeout, like the blocking path.
+            self._stream_finished(stream, failed=True, blocked=True)
+            from ...errors import LockTimeout
+
+            raise LockTimeout(f"could not obtain lock: {block}") from None
+        except Exception:
+            self._stream_finished(stream, failed=True)
+            raise
+        state = self._node(conn.node_name)
+        cost = conn.elapsed - before
+        if batch:
+            cost += len(batch) * self.ext.config.per_row_cpu_cost
+        busy = state["busy"]
+        busy[id(conn)] = busy.get(id(conn), 0.0) + cost
+        if batch is None:
+            self._stream_finished(stream)
+            return None
+        self.report.batches_fetched += 1
+        self.report.bytes_streamed += stream.cursor.last_payload
+        self.counters.incr("batches_fetched", node=conn.node_name)
+        self.counters.incr("bytes_streamed", stream.cursor.last_payload,
+                           node=conn.node_name)
+        return batch
+
+    def _close_stream(self, stream: TaskStream) -> None:
+        if stream.done:
+            return
+        if not stream.opened:
+            # Never dispatched: the early-terminated merge skipped this
+            # task outright — no connection, no round trips, no worker CPU.
+            stream.done = True
+            self.report.tasks_skipped += 1
+            self.counters.incr("tasks_skipped", node=stream.task.node)
+            return
+        conn = stream.conn
+        before = conn.elapsed
+        stream.cursor.close()
+        state = self._node(conn.node_name)
+        busy = state["busy"]
+        busy[id(conn)] = busy.get(id(conn), 0.0) + (conn.elapsed - before)
+        self._stream_finished(stream)
+
+    def _stream_finished(self, stream: TaskStream, failed: bool = False,
+                         blocked: bool = False) -> None:
+        if stream.done:
+            return
+        stream.done = True
+        stream.failed = failed
+        node = stream.conn.node_name if stream.conn is not None else stream.task.node
+        self.counters.gauge_decr("tasks_in_flight", node=node)
+        if blocked:
+            self.counters.incr("tasks_blocked", node=node)
+        elif failed:
+            self.counters.incr("tasks_failed", node=node)
+        else:
+            self.counters.incr("tasks_executed", node=node)
+
+    # ------------------------------------------------------------ finish
+
+    def finish(self) -> ExecutionReport:
+        """Close remaining streams, reconstruct the parallel timeline, and
+        settle counters/gauges. Idempotent; always called (``finally``)."""
+        if self._finished:
+            return self.report
+        self._finished = True
+        for stream in self.streams:
+            if not stream.done:
+                try:
+                    self._close_stream(stream)
+                except Exception:
+                    # Teardown must settle gauges even over broken conns.
+                    self._stream_finished(stream, failed=True)
+        report = self.report
+        node_elapsed = [max(state["busy"].values(), default=0.0)
+                       for state in self._node_state.values()]
+        report.elapsed = max(node_elapsed, default=0.0)
+        for node, state in self._node_state.items():
+            report.per_node_connections[node] = len(state["conns"])
+            reused = len(state["used"] & state["preexisting"])
+            if reused:
+                report.connections_reused += reused
+                self.counters.incr("connections_reused", reused, node=node)
+        report.connections_used = sum(report.per_node_connections.values())
+        if self.ext.cluster is not None:
+            self.ext.cluster.clock.advance(report.elapsed)
+        self.session.stats["citus_tasks"] += len(self.tasks)
+        self.session.stats["citus_connections"] += report.connections_opened
+        self.counters.gauge_decr("executor_statements_in_flight")
+        if report.rows_buffered_peak:
+            self.counters.gauge_max("rows_buffered_peak",
+                                    report.rows_buffered_peak)
+        self.executor.last_report = report
+        if not self.session.in_transaction and not self.need_txn_block:
+            # Shard-group affinity only matters within a transaction; drop
+            # it so cached connections don't accumulate stale pins.
+            for conn in self.pools.all_connections():
+                if not conn.in_txn_block:
+                    conn.accessed_groups.clear()
+        return report
 
 
 def _multi_group(tasks) -> bool:

@@ -37,6 +37,10 @@ class CitusConfig:
     executor_slow_start_interval_ms: float = 10.0
     per_row_cpu_cost: float = 2e-6  # simulated seconds per result row
     enable_repartition_joins: bool = True
+    # Streaming tuple pipeline: multi-shard SELECTs pull row batches from
+    # per-task worker cursors instead of materializing whole shard results.
+    enable_streaming_pipeline: bool = True
+    stream_batch_size: int = 256  # rows per cursor fetch round trip
     deadlock_detection_interval_s: float = 2.0
     recovery_interval_s: float = 2.0
 

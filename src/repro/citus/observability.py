@@ -55,6 +55,7 @@ class DistributedExplain:
     pushed_down: list[str] = field(default_factory=list)
     coordinator: list[str] = field(default_factory=list)
     merge_query: str | None = None  # coordinator-side query over intermediates
+    merge_strategy: str | None = None  # how shard streams combine (streaming)
     subplan: dict | None = None  # repartition / insert..select structure
     is_write: bool = False
     local_plan: list[str] = field(default_factory=list)  # tier == "local" only
@@ -84,6 +85,7 @@ class DistributedExplain:
             "pushed_down": list(self.pushed_down),
             "coordinator": list(self.coordinator),
             "merge_query": self.merge_query,
+            "merge_strategy": self.merge_strategy,
             "subplan": self.subplan,
             "is_write": self.is_write,
             "cached": self.cached,
@@ -109,6 +111,8 @@ class DistributedExplain:
             lines.append(f"  Pushed Down: {', '.join(self.pushed_down)}")
         if self.coordinator:
             lines.append(f"  On Coordinator: {', '.join(self.coordinator)}")
+        if self.merge_strategy:
+            lines.append(f"  Merge: {self.merge_strategy}")
         if self.subplan:
             detail = ", ".join(f"{k}={v}" for k, v in self.subplan.items())
             lines.append(f"  ->  Subplan: {detail}")
@@ -194,6 +198,7 @@ def describe_plan(plan, sql: str = "") -> DistributedExplain:
         pushed_down=list(info.get("pushed_down", ())),
         coordinator=list(info.get("coordinator", ())),
         merge_query=info.get("merge_query"),
+        merge_strategy=info.get("merge_strategy"),
         subplan=info.get("subplan"),
         is_write=bool(info.get("is_write", False)),
         cached=bool(getattr(plan, "cached", False)),

@@ -240,6 +240,22 @@ class MultiTaskSelectPlan(CitusPlan):
     def execute(self, session, params):
         if self.bound is not None:
             params = self.bound
+        plan = self.plan
+        execution = self.ext.executor.open_task_streams(session, plan.tasks)
+        if execution is None:
+            return self._execute_materialized(session, params)
+        from .pushdown import run_streaming_concat, run_streaming_group_merge
+
+        try:
+            if plan.mode == "concat":
+                return run_streaming_concat(plan, execution, session, params)
+            return run_streaming_group_merge(plan, execution, session, params)
+        finally:
+            execution.finish()
+
+    def _execute_materialized(self, session, params):
+        """Fallback data plane (``citus.enable_streaming_pipeline = off``):
+        every per-shard result is fully buffered before the merge."""
         results = self.ext.executor.execute_tasks(session, self.plan.tasks)
         all_rows = []
         columns = None
@@ -260,30 +276,10 @@ class MultiTaskSelectPlan(CitusPlan):
         total_width = len(columns)
         visible_width = total_width - n_appended
 
-        def resolve(position_spec):
-            kind, index = position_spec
-            if kind == "pos":
-                return index
-            return visible_width + index  # appended columns sit at the end
-
         if plan.hidden_sort_keys:
-            from ...engine.datum import sort_key as value_sort_key
-            from ...engine.executor import _Reversed
+            from .pushdown import make_concat_sort_key
 
-            def key_fn(row):
-                keys = []
-                for position_spec, ascending, nulls_first in plan.hidden_sort_keys:
-                    position = resolve(position_spec)
-                    value = row[position] if position < len(row) else None
-                    nf = nulls_first if nulls_first is not None else not ascending
-                    null_rank = (0 if nf else 1) if value is None else (1 if nf else 0)
-                    vk = value_sort_key(value)
-                    if not ascending:
-                        vk = _Reversed(vk)
-                    keys.append((null_rank, vk))
-                return keys
-
-            rows = sorted(rows, key=key_fn)
+            rows = sorted(rows, key=make_concat_sort_key(plan, visible_width))
         if n_appended:
             rows = [row[:visible_width] for row in rows]
             columns = columns[:visible_width]
@@ -347,6 +343,7 @@ class MultiTaskSelectPlan(CitusPlan):
             "pushed_down": plan.pushed_down,
             "coordinator": plan.coordinator,
             "merge_query": merge_query,
+            "merge_strategy": plan.merge_strategy,
         }
 
 

@@ -53,6 +53,8 @@ class PushdownSelect:
     # parameter values without re-running the planner.
     worker_query: A.Select | None = None
     anchor_alias: str | None = None
+    # How the coordinator combines the shard streams (shown by EXPLAIN).
+    merge_strategy: str = "Concat (streaming)"
 
 
 def plan_pushdown_select(ext, select: A.Select, params, analysis: QueryAnalysis):
@@ -235,6 +237,12 @@ def _plan_concat(ext, select, params, analysis, anchor, shard_indexes):
     worker.offset = None
     tasks = _make_tasks(ext, worker, params, anchor, shard_indexes)
     pushed_down, coordinator = _classify_concat_clauses(select)
+    if hidden_sort:
+        merge_strategy = "MergeAppend (streaming)"
+    elif limit is not None:
+        merge_strategy = "Concat + LIMIT (early-stop)"
+    else:
+        merge_strategy = "Concat (streaming)"
     return PushdownSelect(
         tasks=tasks,
         mode="concat",
@@ -252,6 +260,7 @@ def _plan_concat(ext, select, params, analysis, anchor, shard_indexes):
         coordinator=coordinator,
         worker_query=worker,
         anchor_alias=anchor.alias,
+        merge_strategy=merge_strategy,
     )
 
 
@@ -452,6 +461,7 @@ def _plan_merge(ext, select, params, analysis, anchor, shard_indexes):
         coordinator=coordinator,
         worker_query=worker_query,
         anchor_alias=anchor.alias,
+        merge_strategy="GroupAggregate Merge (incremental)",
     )
 
 
@@ -473,6 +483,190 @@ def _make_tasks(ext, worker_query, params, anchor, shard_indexes) -> list[Task]:
                  stmt=shard_stmt)
         )
     return tasks
+
+
+# ------------------------------------------------- streaming merge operators
+#
+# The execution side of the two merge strategies, operating over the
+# adaptive executor's per-task streams (pull-based): k-way heap merge-append
+# for ORDER BY (workers push the sort down, so each shard stream arrives
+# pre-sorted), streaming concat with LIMIT early-stop, and an incremental
+# GROUP BY merge that feeds worker partials into the coordinator's hash
+# aggregate one batch at a time. The coordinator buffer stays bounded by
+# O(batch_size × stream_count); its peak is recorded via
+# ``execution.note_buffered`` (the ``rows_buffered_peak`` gauge).
+
+
+def make_concat_sort_key(plan: PushdownSelect, visible_width: int):
+    """Row-key function for the coordinator merge, resolving hidden sort
+    keys against the worker result width. Shared by the streaming
+    MergeAppend and the materializing fallback so both orders agree."""
+    from ...engine.datum import sort_key as value_sort_key
+    from ...engine.executor import _Reversed
+
+    specs = []
+    for position_spec, ascending, nulls_first in plan.hidden_sort_keys:
+        kind, index = position_spec
+        position = index if kind == "pos" else visible_width + index
+        nf = nulls_first if nulls_first is not None else not ascending
+        specs.append((position, ascending, nf))
+
+    def key_fn(row):
+        keys = []
+        for position, ascending, nf in specs:
+            value = row[position] if position < len(row) else None
+            null_rank = (0 if nf else 1) if value is None else (1 if nf else 0)
+            value_key = value_sort_key(value)
+            if not ascending:
+                value_key = _Reversed(value_key)
+            keys.append((null_rank, value_key))
+        return keys
+
+    return key_fn
+
+
+def run_streaming_concat(plan: PushdownSelect, execution, session, params):
+    """Streaming coordinator merge for concat-mode plans.
+
+    With ORDER BY: k-way MergeAppend over the pre-sorted shard streams.
+    Without: plain concat in task order (matching the materializing path's
+    row order). Either way DISTINCT / OFFSET / LIMIT apply streamingly, and
+    a satisfied LIMIT closes the remaining streams — tasks whose stream was
+    never started are skipped without ever being dispatched.
+    """
+    from ...engine.executor import QueryResult
+    from ...engine.expr import EvalContext, Row, evaluate
+
+    streams = execution.streams
+    ctx = EvalContext(row=Row(), params=params, session=session)
+    offset = int(evaluate(plan.offset, ctx)) if plan.offset is not None else 0
+    limit = None
+    if plan.limit is not None:
+        value = evaluate(plan.limit, ctx)
+        if value is not None:
+            limit = int(value)
+
+    # Worker result shape comes from the first shard stream (``*`` targets
+    # expand only on the workers); trailing hidden sort columns are trimmed.
+    first_columns = list(streams[0].columns) if streams else []
+    n_appended = plan.n_visible
+    visible_width = len(first_columns) - n_appended
+    columns = first_columns[:visible_width] if n_appended else first_columns
+
+    if plan.hidden_sort_keys:
+        source = _merge_append_rows(plan, streams, execution, visible_width)
+    else:
+        source = _concat_rows(streams, execution)
+
+    out_rows: list = []
+    seen = set() if plan.distinct else None
+    skipped = 0
+    satisfied = limit is not None and limit <= 0
+    if not satisfied:
+        for row in source:
+            if n_appended:
+                row = row[:visible_width]
+            if seen is not None:
+                key = tuple(_stream_hashable(v) for v in row)
+                if key in seen:
+                    continue
+                seen.add(key)
+            if skipped < offset:
+                skipped += 1
+                continue
+            out_rows.append(row)
+            if limit is not None and len(out_rows) >= limit:
+                satisfied = True
+                break
+    if satisfied and any(not s.done for s in streams):
+        execution.note_early_termination()
+    for stream in streams:
+        stream.close()
+    return QueryResult(columns, out_rows)
+
+
+def _concat_rows(streams, execution):
+    """Drain shard streams sequentially in task order, one batch at a time
+    (the coordinator holds at most one batch)."""
+    for stream in streams:
+        while True:
+            batch = stream.fetch()
+            if batch is None:
+                break
+            execution.note_buffered(len(batch))
+            for row in batch:
+                yield row
+
+
+def _merge_append_rows(plan, streams, execution, visible_width):
+    """K-way heap merge over pre-sorted shard streams. Buffering is bounded
+    to one in-flight batch per stream; ties break by task order then arrival
+    order so the output matches the materializing path's stable sort."""
+    import heapq
+    from collections import deque
+
+    key_fn = make_concat_sort_key(plan, visible_width)
+    pending = [deque() for _ in streams]
+    heap: list = []
+    held = 0
+    seq = 0
+
+    def push_next(index):
+        nonlocal held, seq
+        rows = pending[index]
+        if not rows:
+            batch = streams[index].fetch()
+            if not batch:
+                return
+            rows.extend(batch)
+            held += len(batch)
+            execution.note_buffered(held)
+        row = rows.popleft()
+        heapq.heappush(heap, (key_fn(row), index, seq, row))
+        seq += 1
+
+    for index in range(len(streams)):
+        push_next(index)
+    while heap:
+        _key, index, _seq, row = heapq.heappop(heap)
+        held -= 1
+        yield row
+        push_next(index)
+
+
+def run_streaming_group_merge(plan: PushdownSelect, execution, session, params):
+    """Incremental two-phase aggregation merge: worker partial-aggregate
+    rows stream into the coordinator's hash aggregate one batch at a time
+    instead of being concatenated wholesale first."""
+    from ...engine.executor import LocalExecutor
+
+    def intermediate_rows():
+        for stream in execution.streams:
+            while True:
+                batch = stream.fetch()
+                if batch is None:
+                    break
+                execution.note_buffered(len(batch))
+                for row in batch:
+                    yield row
+
+    session.temp_results["citus_intermediate"] = (
+        plan.intermediate_columns, intermediate_rows(),
+    )
+    try:
+        result = LocalExecutor(session).execute_select(plan.master_query, params)
+    finally:
+        session.temp_results.pop("citus_intermediate", None)
+    result.columns = plan.visible_columns
+    return result
+
+
+def _stream_hashable(value):
+    if isinstance(value, (dict, list)):
+        from ...engine.datum import to_text
+
+        return to_text(value)
+    return value
 
 
 # ------------------------------------------------------------ DML pushdown

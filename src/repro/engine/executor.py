@@ -60,6 +60,70 @@ class QueryResult:
     def __iter__(self):
         return iter(self.rows)
 
+    @classmethod
+    def from_cursor(cls, cursor: "EngineCursor", batch_size: int = 1024) -> "QueryResult":
+        """Materialize a cursor into the classic eager result shape."""
+        rows: list = []
+        while True:
+            batch = cursor.fetch(batch_size)
+            if not batch:
+                break
+            rows.extend(batch)
+        return cls(cursor.columns, rows, command=cursor.command)
+
+
+class EngineCursor:
+    """Pull-based result of :meth:`LocalExecutor.execute_cursor`.
+
+    ``fetch(n)`` returns up to ``n`` rows ([] once exhausted); ``close()``
+    terminates early. The optional ``on_finish(error)`` callback fires
+    exactly once — on exhaustion, close, or a mid-iteration error — which
+    is how the owning session defers statement completion until every open
+    cursor (portal) on it is done.
+    """
+
+    def __init__(self, columns, rows_iter, command: str = "SELECT",
+                 on_finish=None):
+        self.columns = columns
+        self.command = command
+        self._iter = iter(rows_iter)
+        self._on_finish = on_finish
+        self.exhausted = False
+        self.closed = False
+
+    def fetch(self, n: int) -> list:
+        if self.closed or self.exhausted:
+            return []
+        batch: list = []
+        try:
+            for _ in range(max(int(n), 0)):
+                try:
+                    batch.append(next(self._iter))
+                except StopIteration:
+                    self.exhausted = True
+                    break
+        except BaseException as exc:
+            self.exhausted = True
+            self._finish(exc)
+            raise
+        if self.exhausted:
+            self._finish(None)
+        return batch
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        close_fn = getattr(self._iter, "close", None)
+        if close_fn is not None:
+            close_fn()
+        self._finish(None)
+
+    def _finish(self, error) -> None:
+        callback, self._on_finish = self._on_finish, None
+        if callback is not None:
+            callback(error)
+
 
 @dataclass
 class RelOutput:
@@ -143,6 +207,93 @@ class LocalExecutor:
         if select.for_update:
             self._lock_rows_for_update(pairs)
         return QueryResult(columns, [values for values, _ in pairs])
+
+    # ------------------------------------------------------ cursor SELECT
+
+    def execute_cursor(self, select: A.Select, params,
+                       outer: EvalContext | None = None,
+                       cte_env: dict | None = None) -> EngineCursor:
+        """Pull-based SELECT execution.
+
+        Simple single-relation pipelines (scan → filter → project →
+        offset/limit) stream genuinely lazily, stopping the heap scan as
+        soon as a LIMIT is satisfied. Anything that needs a blocking
+        operator (sort, grouping, DISTINCT, joins, set ops, windows, CTEs)
+        materializes through :meth:`execute_select` first — the cursor
+        then just batches the buffered rows, exactly like a Sort node
+        feeding a portal.
+        """
+        if cte_env is None and self._cursor_streamable(select):
+            return self._simple_select_cursor(select, params, outer)
+        result = self.execute_select(select, params, outer=outer, cte_env=cte_env)
+        return EngineCursor(result.columns, iter(result.rows))
+
+    def _cursor_streamable(self, select: A.Select) -> bool:
+        if (select.ctes or select.set_ops or select.group_by
+                or select.distinct or select.order_by or select.for_update
+                or select.having is not None):
+            return False
+        if len(select.from_items) != 1:
+            return False
+        ref = select.from_items[0]
+        if not isinstance(ref, A.TableRef):
+            return False
+        if ref.name in self.session.temp_results:
+            return False
+        if self.catalog.tables.get(ref.name) is None:
+            return False
+        from .window import contains_window_function
+
+        for entry in select.targets:
+            expr = entry.expr if isinstance(entry, A.TargetEntry) else entry
+            if isinstance(expr, A.Star):
+                continue
+            if contains_window_function(expr):
+                return False
+            for node in _walk_skip_subqueries(expr):
+                if isinstance(node, A.FuncCall) and is_aggregate(node.name):
+                    return False
+        return True
+
+    def _simple_select_cursor(self, select: A.Select, params, outer) -> EngineCursor:
+        ref = select.from_items[0]
+        alias = ref.ref_name
+        table = self.catalog.get_table(ref.name)
+        self.session.acquire_table_lock(table.name, "AccessShare")
+        names = table.column_names()
+        rel = RelOutput(columns=[(alias, n) for n in names], rows=[])
+        targets = _expand_stars(select.targets, rel)
+        columns = _output_names(targets)
+        predicate = get_compiled(select.where) if select.where is not None else None
+        target_fns = [get_compiled(t.expr) for t in targets]
+        ctx0 = self._ctx(Row(), params, outer)
+        offset = int(evaluate(select.offset, ctx0)) if select.offset is not None else 0
+        limit = None
+        if select.limit is not None:
+            value = evaluate(select.limit, ctx0)
+            if value is not None:
+                limit = int(value)
+        snapshot = self.session.snapshot()
+
+        def rows():
+            if limit is not None and limit <= 0:
+                return
+            emitted = 0
+            skipped = 0
+            for row in self._scan_table_iter(table, alias, params, outer,
+                                             select.where, snapshot):
+                ctx = self._ctx(row, params, outer)
+                if predicate is not None and predicate(ctx) is not True:
+                    continue
+                if skipped < offset:
+                    skipped += 1
+                    continue
+                yield [fn(ctx) for fn in target_fns]
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+
+        return EngineCursor(columns, rows())
 
     def _run_select_core(self, select, params, outer, cte_env):
         rel = self._resolve_from(select.from_items, params, outer, cte_env,
@@ -484,6 +635,51 @@ class LocalExecutor:
             rows.append(row)
         keys = set(names) | {f"{alias}.{n}" for n in names}
         return RelOutput(columns=[(alias, n) for n in names], rows=rows, keys=keys)
+
+    def _scan_table_iter(self, table: Table, alias: str, params, outer,
+                         where: A.Expr | None, snapshot):
+        """Lazily yield bound rows from a table scan, charging scan stats
+        incrementally so an early-terminated cursor only pays for what it
+        actually read."""
+        names = table.column_names()
+        clog = self.instance.xids.clog
+        from .mvcc import tuple_visible
+
+        stats = self.session.stats
+
+        def bind(tup) -> Row:
+            row = Row()
+            row.bind_row(alias, names, tup.values)
+            row.provenance[alias] = (table.name, tup.row_id, tup.tid)
+            return row
+
+        path = self.choose_access_path(table, alias, where, params, outer)
+        if path is not None:
+            # Index scans are already bounded by selectivity; resolve the
+            # TIDs eagerly so the stats match the materializing scan.
+            _kind, tids = path
+            tuples = []
+            for tid in tids:
+                tup = table.heap.get(tid)
+                if tup is not None and tuple_visible(tup.header, snapshot, clog):
+                    tuples.append(tup)
+            stats["index_lookups"] += 1
+            stats["tuples_scanned"] += len(tuples)
+            stats["pages_read"] += max(1, len(tuples))
+            for tup in tuples:
+                yield bind(tup)
+            return
+        # Sequential scan: pages charged as tuples stream out (approximate
+        # — visible-tuple density — so a LIMIT-stopped scan pays less).
+        tuples_per_page = max(1, len(table.heap.tuples) // max(table.heap.page_count, 1))
+        stats["pages_read"] += 1
+        seen = 0
+        for tup in table.heap.scan(snapshot, clog):
+            seen += 1
+            stats["tuples_scanned"] += 1
+            if seen % tuples_per_page == 0:
+                stats["pages_read"] += 1
+            yield bind(tup)
 
     # ------------------------------------------------- access path choice
 
@@ -1242,14 +1438,26 @@ def _output_names(targets) -> list[str]:
     return names
 
 
-def _rows_to_rel(alias: str, columns: list[str], rows: list) -> RelOutput:
+def _rows_to_rel(alias: str, columns: list[str], rows) -> RelOutput:
+    keys = set(columns) | {f"{alias}.{c}" for c in columns}
+    rel_columns = [(alias, c) for c in columns]
+    if not isinstance(rows, list):
+        # Lazy source (a streaming intermediate result): keep it lazy so a
+        # single-pass consumer — the coordinator's hash aggregate over
+        # ``citus_intermediate`` — never materializes the whole stream.
+        def bind_lazily():
+            for values in rows:
+                row = Row()
+                row.bind_row(alias, columns, values)
+                yield row
+
+        return RelOutput(columns=rel_columns, rows=bind_lazily(), keys=keys)
     out_rows = []
     for values in rows:
         row = Row()
         row.bind_row(alias, columns, values)
         out_rows.append(row)
-    keys = set(columns) | {f"{alias}.{c}" for c in columns}
-    return RelOutput(columns=[(alias, c) for c in columns], rows=out_rows, keys=keys)
+    return RelOutput(columns=rel_columns, rows=out_rows, keys=keys)
 
 
 def _cross_join(left: RelOutput, right: RelOutput) -> RelOutput:

@@ -315,6 +315,10 @@ class Session:
         # transaction (worker sessions), managed by the adaptive executor.
         self.remote_txns: dict = {}
         self.on_commit_callbacks: list[Callable] = []
+        # Open engine cursors (portals). Statement completion — autocommit,
+        # lock release — is deferred until the count drains back to zero.
+        self._open_cursors = 0
+        self._cursor_error = None
 
     # -------------------------------------------------------------- time
 
@@ -381,6 +385,62 @@ class Session:
         handle = _ParkedStatement(self, stmt, params, None)
         handle.succeed(result)
         return handle
+
+    def execute_parsed_cursor(self, stmt: A.Statement, params=None):
+        """Open a pull-based cursor (portal) over a pre-parsed SELECT.
+
+        Returns an :class:`~repro.engine.executor.EngineCursor`, or None
+        when the statement is not cursor-capable on this backend (not a
+        SELECT, or a planner hook claims it) — callers then fall back to
+        :meth:`execute_parsed`. Statement completion (autocommit, lock
+        release) is deferred until every open cursor on this session has
+        finished, mirroring how a portal holds its transaction resources
+        until it is closed.
+        """
+        if not self.instance.is_up:
+            from ..errors import NodeUnavailable
+
+            raise NodeUnavailable(
+                f"terminating connection: node {self.instance.name!r} went down"
+            )
+        if not isinstance(stmt, A.Select):
+            return None
+        if self.aborted:
+            raise TransactionAborted(
+                "current transaction is aborted, commands ignored until end of block"
+            )
+        if self.instance.hooks.call_planner(self, stmt, params) is not None:
+            return None
+        try:
+            cursor = LocalExecutor(self).execute_cursor(stmt, params)
+        except WouldBlock as block:
+            # Cursor opens never park: surface the wait exactly like a
+            # synchronous multi-task statement does.
+            self._register_wait(block)
+            victim = self._check_local_deadlock()
+            if victim == self.xid:
+                self._fail_transaction()
+                raise DeadlockDetected("deadlock detected") from None
+            self.locks_cleared_wait()
+            self._fail_transaction()
+            raise LockTimeout(f"could not obtain lock: {block}") from None
+        except SQLError:
+            self._statement_failed(None)
+            raise
+        self._open_cursors += 1
+        cursor._on_finish = self._cursor_finished
+        return cursor
+
+    def _cursor_finished(self, error=None) -> None:
+        self._open_cursors = max(0, self._open_cursors - 1)
+        if error is not None and self._cursor_error is None:
+            self._cursor_error = error
+        if self._open_cursors == 0:
+            error, self._cursor_error = self._cursor_error, None
+            if error is not None:
+                self._statement_failed(error)
+            else:
+                self._statement_succeeded()
 
     def close(self) -> None:
         self.instance.disconnect(self)

@@ -116,6 +116,14 @@ class StatsRegistry:
     def gauge_decr(self, name: str, n: int = 1, node: str | None = None) -> None:
         self.gauge_incr(name, -n, node)
 
+    def gauge_max(self, name: str, value: int, node: str | None = None) -> None:
+        """Raise a high-water-mark gauge to ``value`` if currently below it
+        (``rows_buffered_peak``-style peak accounting)."""
+        per_node = self._gauges.setdefault(name, Counter())
+        key = node or _UNLABELLED
+        if value > per_node[key]:
+            per_node[key] = value
+
     @contextmanager
     def track(self, name: str, node: str | None = None):
         """Hold a gauge at +1 for the duration of a block.

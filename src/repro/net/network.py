@@ -12,8 +12,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..engine.executor import EngineCursor
 from ..engine.locks import WouldBlock
 from ..errors import NodeUnavailable
+
+#: Per-row wire framing overhead (DataRow message header).
+_ROW_OVERHEAD = 2
+
+
+def estimate_row_bytes(row) -> int:
+    """Wire-size estimate of one result row — the per-batch payload the
+    bandwidth model charges, replacing the old flat 256-byte guess."""
+    total = _ROW_OVERHEAD
+    for value in row:
+        if value is None or isinstance(value, bool):
+            total += 1
+        elif isinstance(value, (int, float)):
+            total += 8
+        elif isinstance(value, str):
+            total += len(value) + 1
+        else:
+            total += len(str(value)) + 1
+    return total
 
 
 class RemoteBlocked(WouldBlock):
@@ -114,11 +134,40 @@ class RemoteConnection:
         self.elapsed += self.network.note_round_trip()
         return self.session.execute_async(sql, params)
 
-    def copy_rows(self, table: str, rows, columns=None) -> int:
-        count = self.session.copy_rows(table, rows, columns)
+    def execute_cursor(self, stmt=None, params=None, batch_size: int = 256,
+                       sql: str | None = None) -> "RemoteCursor":
+        """Open a worker-side cursor for a SELECT task; batches are then
+        pulled on demand via :meth:`RemoteCursor.fetch_batch`. Only the
+        dispatch round trip is charged here — each batch pays for its own
+        transfer at its actual byte size."""
+        if self.closed:
+            raise NodeUnavailable(f"connection to {self.node_name} is closed")
         self.round_trips += 1
-        self.elapsed += self.network.note_round_trip(payload_bytes=64 * max(count, 1))
-        return count
+        self.elapsed += self.network.note_round_trip()
+        engine_cursor = None
+        if stmt is not None:
+            engine_cursor = self.session.execute_parsed_cursor(stmt, params)
+            if engine_cursor is None:
+                # Not cursor-capable on the worker backend: materialize
+                # there and stream the buffered result (the wire protocol
+                # is the same either way).
+                result = self.session.execute_parsed(stmt, params)
+                engine_cursor = EngineCursor(result.columns, iter(result.rows))
+        else:
+            result = self.session.execute(sql, params)
+            engine_cursor = EngineCursor(result.columns, iter(result.rows))
+        return RemoteCursor(self, engine_cursor, batch_size)
+
+    def copy_rows(self, table: str, rows, columns=None) -> int:
+        if self.closed:
+            raise NodeUnavailable(f"connection to {self.node_name} is closed")
+        # Charge the wire cost up front, like execute(): the rows cross the
+        # network whether or not the worker-side copy then fails.
+        if not hasattr(rows, "__len__"):
+            rows = list(rows)
+        self.round_trips += 1
+        self.elapsed += self.network.note_round_trip(payload_bytes=64 * max(len(rows), 1))
+        return self.session.copy_rows(table, rows, columns)
 
     def begin_if_needed(self) -> None:
         if not self.in_txn_block:
@@ -134,3 +183,68 @@ class RemoteConnection:
                     pass
             self.session.close()
             self.closed = True
+
+
+class RemoteCursor:
+    """A pull-based remote result stream over one connection.
+
+    Each ``fetch_batch()`` is a round trip charged at the batch's actual
+    byte size (bandwidth-aware). ``close()`` before exhaustion sends a
+    small CLOSE message and drops the worker-side cursor without
+    transferring the remaining rows — the early-termination primitive the
+    streaming coordinator merge relies on.
+    """
+
+    def __init__(self, conn: RemoteConnection, engine_cursor: EngineCursor,
+                 batch_size: int):
+        self.conn = conn
+        self.batch_size = max(1, int(batch_size))
+        self._cursor = engine_cursor
+        self.bytes_fetched = 0
+        self.batches_fetched = 0
+        self.rows_fetched = 0
+        self.last_payload = 0
+        self.exhausted = False
+        self.closed = False
+
+    @property
+    def columns(self):
+        return self._cursor.columns
+
+    def fetch_batch(self):
+        """Next batch of rows, or None once the stream is exhausted."""
+        if self.closed or self.exhausted:
+            return None
+        if self.conn.closed:
+            raise NodeUnavailable(
+                f"connection to {self.conn.node_name} is closed"
+            )
+        rows = self._cursor.fetch(self.batch_size)
+        if not rows:
+            self.exhausted = True
+            # Observing end-of-stream costs a bare round trip.
+            self.conn.round_trips += 1
+            self.conn.elapsed += self.conn.network.note_round_trip(_ROW_OVERHEAD)
+            self.last_payload = 0
+            return None
+        payload = sum(estimate_row_bytes(r) for r in rows)
+        self.conn.round_trips += 1
+        self.conn.elapsed += self.conn.network.note_round_trip(payload)
+        self.last_payload = payload
+        self.bytes_fetched += payload
+        self.batches_fetched += 1
+        self.rows_fetched += len(rows)
+        if len(rows) < self.batch_size:
+            # A short batch signals end-of-stream in-band: no extra round
+            # trip needed to observe exhaustion.
+            self.exhausted = True
+        return rows
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if not self.exhausted and not self.conn.closed:
+            self.conn.round_trips += 1
+            self.conn.elapsed += self.conn.network.note_round_trip(_ROW_OVERHEAD)
+        self._cursor.close()
