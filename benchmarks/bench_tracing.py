@@ -1,0 +1,155 @@
+"""Tracing overhead benchmark: what the telemetry layer costs on the
+hot path.
+
+Runs the fast-path CRUD loop (the same workload as ``bench_hotpath``)
+under three instrumentation modes on identical fresh clusters:
+
+- **detached** — the tracer is removed from every extension and instance
+  (``ext.tracer = None``), the true uninstrumented baseline;
+- **disabled** — the tracer is attached but ``citus.enable_tracing`` is
+  off, measuring the cost of the guard checks alone;
+- **enabled** — full span collection, statement stats, and ring buffer.
+
+The budget gates (CI): disabled must stay within 5% of detached, enabled
+within 25%. Throughput is best-of-N trials to damp scheduler noise. An
+exported Chrome trace from the enabled run is always written next to the
+results so a failing CI run can upload it as an artifact for inspection.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tracing.py [--quick]
+        [--out results.json] [--trace-out trace.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import make_cluster  # noqa: E402
+
+#: Maximum allowed throughput loss vs the detached baseline.
+DISABLED_BUDGET = 0.05
+ENABLED_BUDGET = 0.25
+
+_DEFAULT_TRACE_OUT = os.path.join(
+    os.path.dirname(__file__), "results", "bench_tracing_trace.json"
+)
+
+
+def _setup(mode: str):
+    cluster = make_cluster(workers=2, shard_count=8, max_connections=2000)
+    session = cluster.coordinator_session()
+    session.execute(
+        "CREATE TABLE accounts (key int PRIMARY KEY, v int, filler text)"
+    )
+    session.execute("SELECT create_distributed_table('accounts', 'key')")
+    session.copy_rows(
+        "accounts", [[k, 0, f"filler-{k}"] for k in range(1, 201)],
+        ["key", "v", "filler"],
+    )
+    if mode == "detached":
+        for ext in cluster.extensions.values():
+            ext.tracer = None
+        for node in cluster.cluster.nodes.values():
+            node.tracer = None
+    elif mode == "disabled":
+        session.execute("SELECT citus_set_config('enable_tracing', :v)", {"v": False})
+    elif mode != "enabled":
+        raise ValueError(mode)
+    return cluster, session
+
+
+def _crud_loop(session, iterations: int) -> float:
+    """The fast-path workload; returns statements/sec."""
+    select_sql = "SELECT v FROM accounts WHERE key = :key"
+    update_sql = "UPDATE accounts SET v = v + :d WHERE key = :key"
+    start = time.perf_counter()
+    for i in range(iterations):
+        key = (i % 200) + 1
+        session.execute(select_sql, {"key": key})
+        session.execute(update_sql, {"d": 1, "key": key})
+    return iterations * 2 / (time.perf_counter() - start)
+
+
+def run(quick: bool = False) -> dict:
+    iterations = 300 if quick else 1500
+    trials = 3 if quick else 5
+    modes = ("detached", "disabled", "enabled")
+    setups = {mode: _setup(mode) for mode in modes}
+    # Warm every mode before any measurement, then interleave the trials
+    # round-robin: the first loops in a fresh process run cold (allocator,
+    # dict caches), and sequential per-mode runs would bias whichever mode
+    # went first. Best-of-N per mode damps the remaining noise.
+    for mode in modes:
+        _crud_loop(setups[mode][1], max(iterations // 5, 20))
+    best = {mode: 0.0 for mode in modes}
+    for _ in range(trials):
+        for mode in modes:
+            best[mode] = max(best[mode], _crud_loop(setups[mode][1], iterations))
+    trace = setups["enabled"][0].coordinator_ext.tracer.export_chrome(limit=50)
+    results = {}
+    for mode in modes:
+        results[mode] = {"mode": mode, "stmts_per_sec": best[mode]}
+        print(f"{mode:>9}: {best[mode]:>10.1f} stmts/sec")
+    base = results["detached"]["stmts_per_sec"]
+    overheads = {
+        mode: 1.0 - results[mode]["stmts_per_sec"] / base
+        for mode in ("disabled", "enabled")
+    }
+    for mode, budget in (("disabled", DISABLED_BUDGET),
+                         ("enabled", ENABLED_BUDGET)):
+        print(f"{mode:>9} overhead: {overheads[mode] * 100:+6.2f}%"
+              f" (budget {budget * 100:.0f}%)")
+    return {
+        "config": {"iterations": iterations, "trials": trials, "quick": quick},
+        "results": results,
+        "overheads": overheads,
+        "trace": trace,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--out", help="write results JSON to this path")
+    parser.add_argument("--trace-out", default=_DEFAULT_TRACE_OUT,
+                        help="write the enabled-mode Chrome trace here")
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick)
+
+    trace = report.pop("trace")
+    if trace is not None:
+        os.makedirs(os.path.dirname(args.trace_out), exist_ok=True)
+        with open(args.trace_out, "w") as f:
+            json.dump(trace, f, default=str)
+        print(f"wrote {args.trace_out} (open in chrome://tracing)")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.out}")
+
+    status = 0
+    if report["overheads"]["disabled"] > DISABLED_BUDGET:
+        print("FAIL: disabled-tracing overhead exceeds "
+              f"{DISABLED_BUDGET * 100:.0f}%")
+        status = 1
+    if report["overheads"]["enabled"] > ENABLED_BUDGET:
+        print("FAIL: enabled-tracing overhead exceeds "
+              f"{ENABLED_BUDGET * 100:.0f}%")
+        status = 1
+    if status == 0:
+        print("OK: tracing overhead within budget")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

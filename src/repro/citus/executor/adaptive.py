@@ -70,14 +70,27 @@ class AdaptiveExecutor:
         for i, task in enumerate(tasks):
             by_node.setdefault(task.node, []).append(i)
 
+        # Tracing: collect per-task/per-connect timeline events (offsets
+        # into this statement's reconstructed-parallel timeline) and emit
+        # them as spans anchored at the statement's start time.
+        tracer = self.ext.tracer
+        if tracer is None or not tracer.active or self.ext.cluster is None:
+            tracer = None
+        events: list | None = [] if tracer is not None else None
+        base = self.ext.cluster.clock.now() if tracer is not None else 0.0
+
         node_elapsed = []
-        with counters.track("executor_statements_in_flight"):
-            for node, indexes in by_node.items():
-                elapsed = self._run_node_tasks(
-                    session, pools, node, [(i, tasks[i]) for i in indexes], results,
-                    need_txn_block, report, is_write,
-                )
-                node_elapsed.append(elapsed)
+        try:
+            with counters.track("executor_statements_in_flight"):
+                for node, indexes in by_node.items():
+                    elapsed = self._run_node_tasks(
+                        session, pools, node, [(i, tasks[i]) for i in indexes],
+                        results, need_txn_block, report, is_write, events,
+                    )
+                    node_elapsed.append(elapsed)
+        finally:
+            if tracer is not None:
+                self._emit_task_spans(tracer, base, events, results)
         report.elapsed = max(node_elapsed, default=0.0)
         if self.ext.cluster is not None:
             self.ext.cluster.clock.advance(report.elapsed)
@@ -95,8 +108,32 @@ class AdaptiveExecutor:
 
     # ------------------------------------------------------- per node run
 
+    def _emit_task_spans(self, tracer, base: float, events: list, results) -> None:
+        """Turn recorded timeline events into spans. Offsets are relative
+        to the statement start (``base``), matching the executor's
+        reconstructed-parallel timeline."""
+        for event in events:
+            kind = event[0]
+            if kind == "connect":
+                _, node, start, end = event
+                tracer.add_span("connect", "network", base + start, base + end,
+                                node=node)
+            else:
+                _, i, node, start, cost, queued, nbytes, group = event
+                result = results[i]
+                rows = 0
+                if result is not None:
+                    rows = result.rowcount or len(result.rows)
+                tracer.add_span(
+                    "task", "executor", base + start, base + start + cost,
+                    node=node, index=i, rows=rows, bytes=nbytes,
+                    queued_ms=queued * 1000.0,
+                    shard_group=group, retries=0,
+                )
+
     def _run_node_tasks(self, session, pools: SessionPools, node, indexed_tasks,
-                        results, need_txn_block, report, is_write=False) -> float:
+                        results, need_txn_block, report, is_write=False,
+                        events: list | None = None) -> float:
         # Phase 1: tasks with transaction affinity MUST run on the
         # connection that already touched their shard group.
         general: list = []
@@ -133,6 +170,8 @@ class AdaptiveExecutor:
             opened_this_statement += 1
             report.connections_opened += 1
             counters.incr("connections_opened", node=node)
+            if events is not None:
+                events.append(("connect", node, now, busy[id(conn)]))
             return conn
 
         # Lock waits may only suspend single-task statements (router / fast
@@ -144,8 +183,13 @@ class AdaptiveExecutor:
         for bundle in assigned.values():
             for conn, i, task in bundle:
                 start = busy.get(id(conn), 0.0)
+                bytes_before = conn.bytes_transferred
                 cost = self._execute_on(session, conn, task, results, i,
                                         need_txn_block, allow_block, is_write)
+                if events is not None:
+                    events.append(("task", i, conn.node_name, start, cost, start,
+                                   conn.bytes_transferred - bytes_before,
+                                   task.shard_group))
                 busy[id(conn)] = start + cost
                 used_conn_ids.add(id(conn))
                 if id(conn) not in conn_ids:
@@ -173,8 +217,13 @@ class AdaptiveExecutor:
                     conn = new_conn
                     now = busy[id(conn)]
             i, task = pending.pop(0)
+            bytes_before = conn.bytes_transferred
             cost = self._execute_on(session, conn, task, results, i,
                                     need_txn_block, allow_block, is_write)
+            if events is not None:
+                events.append(("task", i, conn.node_name, now, cost, now,
+                               conn.bytes_transferred - bytes_before,
+                               task.shard_group))
             busy[id(conn)] = now + cost
             used_conn_ids.add(id(conn))
         report.per_node_connections[node] = len(conns)
@@ -325,6 +374,15 @@ class StreamingExecution:
             self._unopened[task.node] = self._unopened.get(task.node, 0) + 1
         self._early_noted = False
         self._finished = False
+        # Tracing: per-stream timeline events (dispatch, cursor batches,
+        # connects), emitted as spans in finish(). Only collected when a
+        # trace/capture is active at statement start.
+        tracer = self.ext.tracer
+        self.tracer = tracer if (tracer is not None and tracer.active) else None
+        self.trace_base = (self.ext.cluster.clock.now()
+                           if self.tracer is not None else 0.0)
+        self._trace_events: dict[int, dict] = {}
+        self._trace_connects: list[tuple] = []
         self.counters.incr("executor_statements")
         self.counters.gauge_incr("executor_statements_in_flight")
 
@@ -369,6 +427,8 @@ class StreamingExecution:
         state["busy"][id(conn)] = now + self.ext.cluster.network.connection_setup_cost()
         self.report.connections_opened += 1
         self.counters.incr("connections_opened", node=node)
+        if self.tracer is not None:
+            self._trace_connects.append((node, now, state["busy"][id(conn)]))
         return conn
 
     def _pick_connection(self, node: str, state: dict):
@@ -437,7 +497,15 @@ class StreamingExecution:
             self._stream_finished(stream, failed=True)
             raise
         busy = state["busy"]
-        busy[id(conn)] = busy.get(id(conn), 0.0) + (conn.elapsed - before)
+        start = busy.get(id(conn), 0.0)
+        busy[id(conn)] = start + (conn.elapsed - before)
+        if self.tracer is not None:
+            self._trace_events[stream.index] = {
+                "node": conn.node_name,
+                "group": task.shard_group,
+                "open": (start, busy[id(conn)]),
+                "batches": [],
+            }
 
     def _fetch(self, stream: TaskStream):
         conn = stream.conn
@@ -459,7 +527,14 @@ class StreamingExecution:
         if batch:
             cost += len(batch) * self.ext.config.per_row_cpu_cost
         busy = state["busy"]
-        busy[id(conn)] = busy.get(id(conn), 0.0) + cost
+        start = busy.get(id(conn), 0.0)
+        busy[id(conn)] = start + cost
+        if self.tracer is not None and stream.index in self._trace_events:
+            self._trace_events[stream.index]["batches"].append(
+                (start, start + cost,
+                 len(batch) if batch else 0,
+                 stream.cursor.last_payload if batch else 0)
+            )
         if batch is None:
             self._stream_finished(stream)
             return None
@@ -485,7 +560,10 @@ class StreamingExecution:
         stream.cursor.close()
         state = self._node(conn.node_name)
         busy = state["busy"]
-        busy[id(conn)] = busy.get(id(conn), 0.0) + (conn.elapsed - before)
+        start = busy.get(id(conn), 0.0)
+        busy[id(conn)] = start + (conn.elapsed - before)
+        if self.tracer is not None and stream.index in self._trace_events:
+            self._trace_events[stream.index]["close"] = (start, busy[id(conn)])
         self._stream_finished(stream)
 
     def _stream_finished(self, stream: TaskStream, failed: bool = False,
@@ -502,6 +580,55 @@ class StreamingExecution:
             self.counters.incr("tasks_failed", node=node)
         else:
             self.counters.incr("tasks_executed", node=node)
+
+    def _emit_stream_spans(self) -> None:
+        """Emit the collected streaming timeline as spans: one ``task``
+        span per dispatched stream with nested ``dispatch``/``batch``
+        children, plus ``connect`` spans and zero-duration markers for
+        tasks the early-terminated merge never dispatched."""
+        tracer = self.tracer
+        base = self.trace_base
+        for node, start, end in self._trace_connects:
+            tracer.add_span("connect", "network", base + start, base + end,
+                            node=node)
+        for stream in self.streams:
+            events = self._trace_events.get(stream.index)
+            if events is None:
+                # Never dispatched (early-terminated merge skipped it).
+                tracer.add_span(
+                    "task", "executor", base, base, node=stream.task.node,
+                    index=stream.index, rows=0, bytes=0, batches=0,
+                    skipped=True, retries=0,
+                )
+                continue
+            open_start, open_end = events["open"]
+            end = open_end
+            cursor = stream.cursor
+            task_span = tracer.add_span(
+                "task", "executor", base + open_start, base + open_end,
+                node=events["node"], index=stream.index,
+                rows=cursor.rows_fetched if cursor is not None else 0,
+                bytes=(256 + cursor.bytes_fetched) if cursor is not None else 0,
+                batches=cursor.batches_fetched if cursor is not None else 0,
+                shard_group=events["group"], retries=0,
+            )
+            if task_span is None:
+                continue
+            from ..tracing import Span
+
+            task_span.add(Span("dispatch", "network", base + open_start,
+                               base + open_end, node=events["node"]))
+            for b_start, b_end, rows, nbytes in events["batches"]:
+                task_span.add(Span("batch", "network", base + b_start,
+                                   base + b_end, node=events["node"],
+                                   attrs={"rows": rows, "bytes": nbytes}))
+                end = max(end, b_end)
+            close = events.get("close")
+            if close is not None:
+                task_span.add(Span("close", "network", base + close[0],
+                                   base + close[1], node=events["node"]))
+                end = max(end, close[1])
+            task_span.end = base + end
 
     # ------------------------------------------------------------ finish
 
@@ -529,6 +656,8 @@ class StreamingExecution:
                 report.connections_reused += reused
                 self.counters.incr("connections_reused", reused, node=node)
         report.connections_used = sum(report.per_node_connections.values())
+        if self.tracer is not None:
+            self._emit_stream_spans()
         if self.ext.cluster is not None:
             self.ext.cluster.clock.advance(report.elapsed)
         self.session.stats["citus_tasks"] += len(self.tasks)

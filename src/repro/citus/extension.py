@@ -43,6 +43,10 @@ class CitusConfig:
     stream_batch_size: int = 256  # rows per cursor fetch round trip
     deadlock_detection_interval_s: float = 2.0
     recovery_interval_s: float = 2.0
+    # Distributed tracing / statement telemetry.
+    enable_tracing: bool = True  # collect a span tree per statement
+    trace_buffer_size: int = 256  # ring buffer of finished traces
+    log_min_duration: float = -1.0  # slow-query log threshold (ms); <0 off
 
 
 class NamedArgument:
@@ -80,6 +84,10 @@ class CitusExtension:
         self.ddl = DistributedDDL(self)
         self.executor = AdaptiveExecutor(self)
         self.txn_callbacks = TransactionCallbacks(self)
+        # Cluster-shared tracer, attached by install_citus. A plain
+        # attribute (not a property) so benchmarks can detach it entirely
+        # for an uninstrumented baseline.
+        self.tracer = None
         self.stats: Counter = Counter()
         # citus_stat_counters_reset() baseline for the engine-level
         # expression-compilation counter (a process-wide monotonic count).
@@ -211,6 +219,12 @@ class CitusExtension:
     def run_maintenance(self) -> dict:
         """One maintenance-daemon cycle: 2PC recovery + distributed
         deadlock detection (§3.1's background worker)."""
+        if self.tracer is not None:
+            with self.tracer.operation("maintenance"):
+                return self._run_maintenance_inner()
+        return self._run_maintenance_inner()
+
+    def _run_maintenance_inner(self) -> dict:
         self.stat_counters.incr("maintenance_cycles")
         recovered = recover_prepared_transactions(self)
         cancelled = detect_distributed_deadlocks(self)
@@ -241,6 +255,21 @@ def install_citus(instance, cluster, config: CitusConfig | None = None,
         ext.metadata.reload(session)
     finally:
         session.close()
+    if cluster is not None:
+        # One tracer per cluster (like the stats registry): spans emitted
+        # by any node's executor, 2PC callbacks, or engine land in the
+        # same trace. Attached to the instance too so the engine's
+        # dispatch/executor layers can reach it without knowing Citus.
+        from .tracing import trace_for
+
+        tracer = trace_for(cluster, cluster.clock)
+        tracer.configure(
+            enabled=ext.config.enable_tracing,
+            buffer_size=ext.config.trace_buffer_size,
+            log_min_duration=ext.config.log_min_duration,
+        )
+        ext.tracer = tracer
+        instance.tracer = tracer
     _register_udfs(ext)
     instance.hooks.planner_hooks.append(make_planner_hook(ext))
     instance.hooks.utility_hooks.append(_make_utility_hook(ext))
@@ -392,6 +421,14 @@ def _register_udfs(ext: CitusExtension) -> None:
             raise MetadataError(f"unknown citus configuration {name!r}")
         current = getattr(ext.config, name)
         setattr(ext.config, name, type(current)(value))
+        if ext.tracer is not None and name in (
+            "enable_tracing", "trace_buffer_size", "log_min_duration"
+        ):
+            ext.tracer.configure(
+                enabled=ext.config.enable_tracing,
+                buffer_size=ext.config.trace_buffer_size,
+                log_min_duration=ext.config.log_min_duration,
+            )
         return value
 
     def alter_table_set_access_method(session, table_name, method):
@@ -422,6 +459,16 @@ def _register_udfs(ext: CitusExtension) -> None:
         return out
 
     def citus_stat_reset(session):
+        """citus_stat_counters_reset(): zero the cluster-wide statistics.
+
+        Reset semantics: monotonic counters, latency histograms, and
+        high-water gauges (peaks recorded via ``gauge_max``, e.g.
+        ``rows_buffered_peak``) are cleared; *live* up/down gauges
+        (``shared_pool_slots``, ``tasks_in_flight``, ...) are preserved,
+        because they track currently-held resources — zeroing a held
+        level would go negative on release. Statement telemetry has its
+        own reset: ``citus_stat_statements_reset()``.
+        """
         from ..engine.compile import compile_count
 
         ext.stat_counters.reset()
@@ -433,6 +480,47 @@ def _register_udfs(ext: CitusExtension) -> None:
         from .observability import explain as dist_explain
 
         return dist_explain(session, sql).as_text()
+
+    def citus_explain_analyze(session, sql, *rest):
+        """EXPLAIN ANALYZE text: executes the statement and annotates the
+        distributed plan tree with per-task and merge actuals."""
+        from .observability import explain_analyze as dist_explain_analyze
+
+        return "\n".join(dist_explain_analyze(session, sql))
+
+    def citus_stat_statements(session, *rest):
+        """Rows of the citus_stat_statements view: [query, partition_key,
+        tier, calls, total_ms, min_ms, max_ms, p50_ms, p95_ms, p99_ms,
+        rows, bytes, plan_cache_hits], ordered by total time descending.
+        Only statements planned by the distributed planner are tracked."""
+        if ext.tracer is None:
+            return []
+        return ext.tracer.stat_statements.rows()
+
+    def citus_stat_statements_reset(session):
+        if ext.tracer is not None:
+            ext.tracer.stat_statements.reset()
+        return True
+
+    def citus_trace_export(session, *rest):
+        """Buffered traces as Chrome trace-event JSON (load the string in
+        chrome://tracing or Perfetto). Optional argument limits the export
+        to the N most recent traces."""
+        if ext.tracer is None:
+            return '{"traceEvents": []}'
+        limit = int(rest[0]) if rest else None
+        return ext.tracer.export_chrome_json(limit)
+
+    def citus_slow_queries(session, *rest):
+        """Slow-query log entries (citus.log_min_duration gate): rows of
+        [sql, duration_ms, tier, partition_key, rows, error]."""
+        if ext.tracer is None:
+            return []
+        return [
+            [e["sql"], e["duration_ms"], e["tier"], e["tenant"],
+             e["rows"], e["error"]]
+            for e in ext.tracer.slow_log
+        ]
 
     registry = {
         "citus_add_node": citus_add_node,
@@ -459,6 +547,11 @@ def _register_udfs(ext: CitusExtension) -> None:
         "citus_stat_counters": citus_stat_counters,
         "citus_stat_counters_reset": citus_stat_reset,
         "citus_explain": citus_explain,
+        "citus_explain_analyze": citus_explain_analyze,
+        "citus_stat_statements": citus_stat_statements,
+        "citus_stat_statements_reset": citus_stat_statements_reset,
+        "citus_trace_export": citus_trace_export,
+        "citus_slow_queries": citus_slow_queries,
     }
     for name, fn in registry.items():
         catalog.register_function(name, fn)

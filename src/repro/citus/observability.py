@@ -36,9 +36,18 @@ class TaskTarget:
     node: str
     sql: str | None = None
     shard_group: tuple | None = None
+    #: EXPLAIN ANALYZE only: measured execution detail for this task —
+    #: rows, bytes, time_ms, batches (streaming), queued_ms (blocking),
+    #: skipped (never dispatched because the merge terminated early).
+    actual: dict | None = None
 
     def as_dict(self) -> dict:
-        return {"node": self.node, "sql": self.sql, "shard_group": self.shard_group}
+        return {
+            "node": self.node,
+            "sql": self.sql,
+            "shard_group": self.shard_group,
+            "actual": self.actual,
+        }
 
 
 @dataclass
@@ -60,6 +69,10 @@ class DistributedExplain:
     is_write: bool = False
     local_plan: list[str] = field(default_factory=list)  # tier == "local" only
     cached: bool = False  # replayed from the distributed plan cache
+    #: EXPLAIN ANALYZE only: statement-level actuals — rows, total_ms, and
+    #: the coordinator merge span (strategy, time_ms, rows, buffered peak,
+    #: early termination). None for plain EXPLAIN.
+    analyze: dict | None = None
 
     # ------------------------------------------------------------ reading
 
@@ -89,6 +102,7 @@ class DistributedExplain:
             "subplan": self.subplan,
             "is_write": self.is_write,
             "cached": self.cached,
+            "analyze": self.analyze,
         }
 
     def as_text(self) -> str:
@@ -111,8 +125,15 @@ class DistributedExplain:
             lines.append(f"  Pushed Down: {', '.join(self.pushed_down)}")
         if self.coordinator:
             lines.append(f"  On Coordinator: {', '.join(self.coordinator)}")
-        if self.merge_strategy:
-            lines.append(f"  Merge: {self.merge_strategy}")
+        merge_actual = (self.analyze or {}).get("merge")
+        if self.merge_strategy or merge_actual:
+            strategy = self.merge_strategy or (
+                merge_actual.get("strategy") if merge_actual else None
+            ) or "concat"
+            line = f"  Merge: {strategy}"
+            if merge_actual:
+                line += _merge_actual_suffix(merge_actual)
+            lines.append(line)
         if self.subplan:
             detail = ", ".join(f"{k}={v}" for k, v in self.subplan.items())
             lines.append(f"  ->  Subplan: {detail}")
@@ -120,9 +141,20 @@ class DistributedExplain:
             lines.append(f"  ->  Task on {task.node}")
             if task.sql:
                 lines.append(f"        {task.sql}")
+            if task.actual is not None:
+                lines.append(f"        {_task_actual_line(task.actual)}")
         if self.merge_query:
             lines.append(f"  ->  Merge Query (coordinator)")
             lines.append(f"        {self.merge_query}")
+        if self.analyze is not None:
+            total = self.analyze.get("total_ms")
+            summary = f"Execution: rows={self.analyze.get('rows', 0)}"
+            if total is not None:
+                summary += f" time={total:.3f} ms"
+            skipped = self.analyze.get("tasks_skipped")
+            if skipped:
+                summary += f" tasks_skipped={skipped}"
+            lines.append(summary)
         return "\n".join(lines)
 
     def __str__(self):
@@ -203,6 +235,127 @@ def describe_plan(plan, sql: str = "") -> DistributedExplain:
         is_write=bool(info.get("is_write", False)),
         cached=bool(getattr(plan, "cached", False)),
     )
+
+
+# --------------------------------------------------------- explain analyze
+
+
+def _task_actual_line(actual: dict) -> str:
+    """Render one task's measured execution, pg-style."""
+    if actual.get("skipped"):
+        return "(never dispatched)"
+    parts = [f"actual rows={actual.get('rows', 0)}"]
+    if "batches" in actual:
+        parts.append(f"batches={actual['batches']}")
+    parts.append(f"bytes={actual.get('bytes', 0)}")
+    time_ms = actual.get("time_ms")
+    if time_ms is not None:
+        parts.append(f"time={time_ms:.3f} ms")
+    queued_ms = actual.get("queued_ms")
+    if queued_ms:
+        parts.append(f"queued={queued_ms:.3f} ms")
+    retries = actual.get("retries")
+    if retries:
+        parts.append(f"retries={retries}")
+    return f"({' '.join(parts)})"
+
+
+def _merge_actual_suffix(merge: dict) -> str:
+    parts = [f"actual rows={merge.get('rows', 0)}"]
+    time_ms = merge.get("time_ms")
+    if time_ms is not None:
+        parts.append(f"time={time_ms:.3f} ms")
+    peak = merge.get("rows_buffered_peak")
+    if peak:
+        parts.append(f"buffered_peak={peak}")
+    if merge.get("early_terminated"):
+        parts.append("early_terminated")
+    return f"  ({' '.join(parts)})"
+
+
+def run_explain_analyze(plan, session, stmt, params=None) -> list[str]:
+    """Execute a distributed plan under a trace capture and render the
+    EXPLAIN tree annotated with per-task and merge actuals.
+
+    The span tree is collected via :meth:`Tracer.capture`, which works
+    even while tracing is globally disabled; task spans are matched back
+    to the plan's task list by their ``index`` attribute.
+    """
+    try:
+        from ..sql.deparse import deparse
+
+        sql = deparse(stmt)
+    except Exception:
+        sql = type(stmt).__name__
+    explained = describe_plan(plan, sql)
+    ext = getattr(plan, "ext", None)
+    tracer = getattr(ext, "tracer", None) if ext is not None else None
+    if tracer is None:
+        # No tracer attached (detached for benchmarking): execute without
+        # per-task actuals.
+        result = plan.execute(session, params)
+        rows = result.rowcount or len(result.rows)
+        explained.analyze = {"rows": rows, "total_ms": None}
+        return explained.as_text().splitlines()
+    start = tracer.clock.now()
+    with tracer.capture("explain_analyze") as root:
+        result = plan.execute(session, params)
+    total_ms = (tracer.clock.now() - start) * 1000.0
+    rows = result.rowcount or len(result.rows)
+    analyze: dict = {"rows": rows, "total_ms": total_ms}
+    tasks_skipped = 0
+    for span in root.find(cat="executor", name="task"):
+        index = span.attrs.get("index")
+        if index is None or not (0 <= index < len(explained.tasks)):
+            continue
+        actual = {
+            "rows": span.attrs.get("rows", 0),
+            "bytes": span.attrs.get("bytes", 0),
+            "time_ms": span.duration * 1000.0,
+        }
+        for key in ("batches", "queued_ms", "retries", "skipped"):
+            if span.attrs.get(key):
+                actual[key] = span.attrs[key]
+        if actual.get("skipped"):
+            tasks_skipped += 1
+        # Last write wins: for multi-stage plans the final round of tasks
+        # (the one explain_info describes) is emitted last.
+        explained.tasks[index].actual = actual
+    if tasks_skipped:
+        analyze["tasks_skipped"] = tasks_skipped
+    merge_spans = root.find(cat="merge")
+    if merge_spans:
+        merge = merge_spans[-1]
+        analyze["merge"] = dict(merge.attrs)
+        analyze["merge"]["time_ms"] = merge.duration * 1000.0
+    explained.analyze = analyze
+    return explained.as_text().splitlines()
+
+
+def explain_analyze(session, sql: str, params=None) -> list[str]:
+    """Plan and execute ``sql``, returning annotated EXPLAIN ANALYZE lines
+    (the implementation behind ``citus_explain_analyze(sql)``)."""
+    statements = parse(sql)
+    if not statements:
+        raise ValueError("explain_analyze() needs exactly one statement")
+    stmt = statements[0]
+    if isinstance(stmt, A.Explain):
+        stmt = stmt.statement
+    plan = session.instance.hooks.call_planner(session, stmt, params)
+    if plan is not None:
+        analyzer = getattr(plan, "explain_analyze_lines", None)
+        if analyzer is not None:
+            return analyzer(session, stmt, params)
+        result = plan.execute(session, params)
+        return [f"(actual rows={result.rowcount or len(result.rows)})"]
+    from ..engine.executor import LocalExecutor
+
+    lines: list[str] = []
+    if isinstance(stmt, (A.Select, A.Insert, A.Update, A.Delete)):
+        lines = LocalExecutor(session).explain(stmt, params)
+    result = session.execute_parsed(stmt, params)
+    lines.append(f"  (actual rows={result.rowcount or len(result.rows)})")
+    return lines
 
 
 def _task_sql(task) -> str | None:

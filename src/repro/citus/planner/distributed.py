@@ -36,15 +36,54 @@ def make_planner_hook(ext):
         ext.stats["distributed_queries"] += 1
         ext.stat_counters.incr("planner_total")
         plan = ext.plan_cache.lookup(session, stmt, params)
+        cache_hit = plan is not None
         if plan is None:
             plan = plan_statement(ext, session, stmt, params)
             ext.plan_cache.store(stmt, plan)
         tier = getattr(plan, "tier", None)
         if tier:
             ext.stat_counters.incr(f"planner_{tier}")
+        tracer = ext.tracer
+        if tracer is not None and tracer.active:
+            _trace_planning(ext, tracer, session, stmt, params, plan,
+                            tier, cache_hit)
         return plan
 
     return planner_hook
+
+
+def _trace_planning(ext, tracer, session, stmt, params, plan, tier,
+                    cache_hit: bool) -> None:
+    """Attach the plan span and statement-level attribution to the active
+    trace. Planning consumes no simulated time, so the span is an instant
+    marker carrying the cascade's decisions."""
+    from ..tracing import partition_key_for
+    from .plan_cache import _normalize_statement
+
+    task_count = None
+    tasks = getattr(plan, "tasks", None)
+    if tasks is None:
+        inner = getattr(plan, "plan", None)
+        tasks = getattr(inner, "tasks", None)
+    if tasks is not None:
+        task_count = len(tasks)
+    tracer.event(
+        "plan", "planner", node=session.instance.name,
+        tier=tier, cached=cache_hit, tasks=task_count,
+    )
+    norm = _normalize_statement(stmt)
+    if norm is not None:
+        fingerprint = norm[2]
+    else:
+        # Plan-cache-ineligible shapes (multi-row INSERT, INSERT..SELECT)
+        # still deserve a stat_statements identity, keyed by shape+table.
+        fingerprint = f"{type(stmt).__name__}:{getattr(stmt, 'table', '')}"
+    tracer.annotate(
+        tier=tier,
+        fingerprint=fingerprint,
+        tenant=partition_key_for(ext, stmt, params),
+        cached=cache_hit,
+    )
 
 
 def plan_statement(ext, session, stmt, params) -> CustomScanPlan:
@@ -142,6 +181,13 @@ class CitusPlan(CustomScanPlan):
         """Structured plan description consumed by
         :func:`repro.citus.observability.describe_plan`."""
         return {"tier": self.tier, "planner": self.tier, "tasks": []}
+
+    def explain_analyze_lines(self, session, stmt, params) -> list[str]:
+        """EXPLAIN ANALYZE: execute under trace capture and render the
+        plan tree annotated with per-task actuals and the merge span."""
+        from ..observability import run_explain_analyze
+
+        return run_explain_analyze(self, session, stmt, params)
 
 
 class SingleTaskPlan(CitusPlan):
@@ -246,12 +292,37 @@ class MultiTaskSelectPlan(CitusPlan):
             return self._execute_materialized(session, params)
         from .pushdown import run_streaming_concat, run_streaming_group_merge
 
+        tracer = self.ext.tracer
+        tracing = tracer is not None and tracer.active
+        merge_start = self.ext.cluster.clock.now() if tracing else 0.0
+        result = None
         try:
             if plan.mode == "concat":
-                return run_streaming_concat(plan, execution, session, params)
-            return run_streaming_group_merge(plan, execution, session, params)
+                result = run_streaming_concat(plan, execution, session, params)
+            else:
+                result = run_streaming_group_merge(plan, execution, session, params)
+            return result
         finally:
-            execution.finish()
+            report = execution.finish()
+            if tracing:
+                # The merge interleaves with the fetches it drives, so its
+                # span covers the statement's whole executor window (the
+                # clock advanced inside finish()).
+                tracer.add_span(
+                    "merge", "merge", merge_start,
+                    self.ext.cluster.clock.now(), strategy=self._merge_label(),
+                    rows=len(result.rows) if result is not None else 0,
+                    rows_buffered_peak=report.rows_buffered_peak,
+                    early_terminated=bool(report.early_terminations),
+                    tasks_skipped=report.tasks_skipped,
+                    streaming=True,
+                )
+
+    def _merge_label(self) -> str:
+        plan = self.plan
+        if plan.merge_strategy:
+            return plan.merge_strategy
+        return "concat" if plan.mode == "concat" else "group-merge"
 
     def _execute_materialized(self, session, params):
         """Fallback data plane (``citus.enable_streaming_pipeline = off``):
@@ -266,6 +337,17 @@ class MultiTaskSelectPlan(CitusPlan):
                 columns = result.columns
             all_rows.extend(result.rows)
         columns = columns or []
+        tracer = self.ext.tracer
+        if tracer is not None and tracer.active:
+            with tracer.span("merge", "merge", strategy=self._merge_label(),
+                             streaming=False,
+                             rows_buffered_peak=len(all_rows)) as span:
+                if self.plan.mode == "concat":
+                    result = self._finish_concat(session, params, columns, all_rows)
+                else:
+                    result = self._finish_merge(session, params, all_rows)
+                span.attrs["rows"] = len(result.rows)
+                return result
         if self.plan.mode == "concat":
             return self._finish_concat(session, params, columns, all_rows)
         return self._finish_merge(session, params, all_rows)

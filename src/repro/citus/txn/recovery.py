@@ -17,6 +17,21 @@ from __future__ import annotations
 from ...errors import ReproError
 
 
+def _timed_recovery(tracer, conn, name: str, gid: str, fn) -> None:
+    """Run one recovery resolution, recording it as a 2pc span sized by
+    the connection's elapsed delta when a trace is being collected."""
+    if tracer is None:
+        fn()
+        return
+    before = conn.elapsed
+    start = tracer.clock.now()
+    try:
+        fn()
+    finally:
+        tracer.add_span(name, "2pc", start, start + (conn.elapsed - before),
+                        node=conn.node_name, gid=gid)
+
+
 def _in_flight_gids(ext) -> set:
     """Gids of 2PCs currently between phase one and phase two on a live
     backend (their outcome is not yet decided by the local commit)."""
@@ -54,12 +69,17 @@ def recover_prepared_transactions(ext) -> dict:
                     continue  # the coordinator transaction has not ended yet
                 known_gids.add(gid)
                 conn = ext.worker_connection(node)
+                tracer = ext.tracer
+                if tracer is None or not tracer.active:
+                    tracer = None
                 if ext.metadata.commit_record_exists(session, gid):
-                    conn.execute(f"COMMIT PREPARED '{gid}'")
+                    _timed_recovery(tracer, conn, "2pc.recover_commit", gid,
+                                    lambda: conn.execute(f"COMMIT PREPARED '{gid}'"))
                     stats["committed"] += 1
                     counters.incr("recovery_committed", node=node)
                 else:
-                    conn.execute(f"ROLLBACK PREPARED '{gid}'")
+                    _timed_recovery(tracer, conn, "2pc.recover_abort", gid,
+                                    lambda: conn.execute(f"ROLLBACK PREPARED '{gid}'"))
                     stats["aborted"] += 1
                     counters.incr("recovery_aborted", node=node)
         # Garbage-collect commit records whose prepared transactions are

@@ -34,6 +34,30 @@ class TransactionCallbacks:
     def __init__(self, ext):
         self.ext = ext
 
+    def _tracer(self):
+        """The active tracer, or None when nothing is collecting. 2PC
+        spans get their extent from per-connection elapsed deltas — the
+        commit path never advances the cluster clock, so span times are
+        reconstructed the same way the executor's timeline is."""
+        tracer = self.ext.tracer
+        if tracer is not None and tracer.active:
+            return tracer
+        return None
+
+    @staticmethod
+    def _timed(tracer, conn, name: str, fn, **attrs):
+        """Run ``fn()`` and record it as a 2pc-phase span sized by the
+        connection's elapsed delta."""
+        if tracer is None:
+            return fn()
+        before = conn.elapsed
+        start = tracer.clock.now()
+        try:
+            return fn()
+        finally:
+            tracer.add_span(name, "2pc", start, start + (conn.elapsed - before),
+                            node=conn.node_name, **attrs)
+
     # ----------------------------------------------------------- pre-commit
 
     def pre_commit(self, session) -> None:
@@ -54,10 +78,11 @@ class TransactionCallbacks:
             pools.end_transaction()
             return
         counters = self.ext.stat_counters
+        tracer = self._tracer()
         if len(writers) == 1:
             # Single worker transaction: delegate, no 2PC needed (§3.7.1).
             conn = writers[0]
-            conn.execute("COMMIT")
+            self._timed(tracer, conn, "commit.1pc", lambda: conn.execute("COMMIT"))
             conn.in_txn_block = False
             session.stats["citus_1pc_commits"] += 1
             counters.incr("onepc_commits", node=conn.node_name)
@@ -72,7 +97,11 @@ class TransactionCallbacks:
         for conn in participants:
             gid = make_gid(self.ext.instance.name, session.backend_pid)
             try:
-                conn.execute(f"PREPARE TRANSACTION '{gid}'")
+                self._timed(
+                    tracer, conn, "2pc.prepare",
+                    lambda c=conn, g=gid: c.execute(f"PREPARE TRANSACTION '{g}'"),
+                    gid=gid,
+                )
             except Exception:
                 # Prepare failed: abort the already-prepared participants
                 # and the local transaction.
@@ -92,6 +121,8 @@ class TransactionCallbacks:
         # Commit records: become durable together with the local commit.
         for _conn, gid in prepared:
             self.ext.metadata.write_commit_record(session, gid)
+        if tracer is not None:
+            tracer.event("2pc.commit_records", "2pc", records=len(prepared))
         session._citus_prepared = prepared  # handed to post-commit
 
     # ---------------------------------------------------------- post-commit
@@ -99,12 +130,17 @@ class TransactionCallbacks:
     def post_commit(self, session) -> None:
         prepared = getattr(session, "_citus_prepared", None)
         if prepared:
+            tracer = self._tracer()
             for conn, gid in prepared:
                 if self.ext.failpoints.get("skip_commit_prepared"):
                     # Failure injection: leave the prepared transaction for
                     # the recovery daemon.
                     continue
-                _best_effort(conn, f"COMMIT PREPARED '{gid}'")
+                self._timed(
+                    tracer, conn, "2pc.commit_prepared",
+                    lambda c=conn, g=gid: _best_effort(c, f"COMMIT PREPARED '{g}'"),
+                    gid=gid,
+                )
                 self.ext.stat_counters.incr(
                     "twopc_commit_prepared", node=conn.node_name
                 )
@@ -116,12 +152,17 @@ class TransactionCallbacks:
     # --------------------------------------------------------------- abort
 
     def abort(self, session) -> None:
+        tracer = self._tracer()
         prepared = getattr(session, "_citus_prepared", None)
         if prepared:
             # The local commit failed after phase one: without visible
             # commit records, recovery must abort these; do it eagerly.
             for conn, gid in prepared:
-                _best_effort(conn, f"ROLLBACK PREPARED '{gid}'")
+                self._timed(
+                    tracer, conn, "2pc.rollback_prepared",
+                    lambda c=conn, g=gid: _best_effort(c, f"ROLLBACK PREPARED '{g}'"),
+                    gid=gid,
+                )
                 self.ext.stat_counters.incr(
                     "twopc_rollback_prepared", node=conn.node_name
                 )
@@ -130,7 +171,8 @@ class TransactionCallbacks:
         if pools is None:
             return
         for conn in pools.txn_connections():
-            _best_effort(conn, "ROLLBACK")
+            self._timed(tracer, conn, "rollback",
+                        lambda c=conn: _best_effort(c, "ROLLBACK"))
             conn.in_txn_block = False
         pools.end_transaction()
 

@@ -88,6 +88,7 @@ class EngineCursor:
         self.command = command
         self._iter = iter(rows_iter)
         self._on_finish = on_finish
+        self.rows_fetched = 0
         self.exhausted = False
         self.closed = False
 
@@ -106,6 +107,7 @@ class EngineCursor:
             self.exhausted = True
             self._finish(exc)
             raise
+        self.rows_fetched += len(batch)
         if self.exhausted:
             self._finish(None)
         return batch
@@ -180,6 +182,21 @@ class LocalExecutor:
 
     def execute_select(self, select: A.Select, params, outer: EvalContext | None = None,
                        cte_env: dict | None = None) -> QueryResult:
+        tracer = self.instance.tracer
+        if tracer is not None and tracer.active:
+            # Inside a traced statement (or EXPLAIN ANALYZE capture), each
+            # engine-level select — the coordinator merge query, local-tier
+            # statements, InitPlans — shows up as its own span.
+            with tracer.span("select", "engine", node=self.instance.name) as span:
+                result = self._execute_select_impl(select, params, outer, cte_env)
+                if span is not None:
+                    span.attrs["rows"] = len(result.rows)
+                return result
+        return self._execute_select_impl(select, params, outer, cte_env)
+
+    def _execute_select_impl(self, select: A.Select, params,
+                             outer: EvalContext | None = None,
+                             cte_env: dict | None = None) -> QueryResult:
         cte_env = dict(cte_env or {})
         for cte in select.ctes:
             sub = self.execute_select(cte.query, params, outer=outer, cte_env=cte_env)

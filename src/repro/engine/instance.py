@@ -104,6 +104,9 @@ class PostgresInstance:
         self.is_up = True
         # Extensions record themselves here (CREATE EXTENSION equivalent).
         self.extensions: dict[str, object] = {}
+        # Statement tracer (repro.citus.tracing.Tracer); installed by the
+        # coordinator's extension, None on plain/worker instances.
+        self.tracer = None
 
     # -------------------------------------------------------- connections
 
@@ -585,6 +588,24 @@ class Session:
     # ----------------------------------------------------------- dispatch
 
     def _dispatch(self, stmt: A.Statement, params, copy_data, park_on_block=False):
+        # Statement tracing: when a tracer is installed (coordinator with
+        # the Citus extension) and either enabled or mid-capture, wrap the
+        # dispatch in a statement span. Worker instances carry no tracer,
+        # so the hot remote-execution path pays one attribute load.
+        tracer = self.instance.tracer
+        if tracer is None or not (tracer.enabled or tracer.active):
+            return self._dispatch_inner(stmt, params, copy_data, park_on_block)
+        token = tracer.begin_statement(self, stmt)
+        try:
+            result = self._dispatch_inner(stmt, params, copy_data, park_on_block)
+        except BaseException as exc:
+            tracer.fail_statement(token, exc)
+            raise
+        tracer.end_statement(token, result)
+        return result
+
+    def _dispatch_inner(self, stmt: A.Statement, params, copy_data,
+                        park_on_block=False):
         if self.aborted and not isinstance(stmt, (A.Rollback, A.Commit)):
             raise TransactionAborted(
                 "current transaction is aborted, commands ignored until end of block"
@@ -720,20 +741,18 @@ class Session:
             # EXPLAIN ANALYZE: run the statement and report actuals
             # (simulated elapsed time for distributed plans).
             if plan is not None:
+                analyzer = getattr(plan, "explain_analyze_lines", None)
+                if analyzer is not None:
+                    # Distributed plans execute under trace capture and
+                    # render per-task actuals plus the merge span.
+                    return QueryResult(
+                        ["QUERY PLAN"],
+                        [[line] for line in analyzer(self, inner, params)],
+                    )
                 result = plan.execute(self, params)
                 lines.append(
                     f"  (actual rows={result.rowcount or len(result.rows)})"
                 )
-                executor = getattr(
-                    self.instance.extensions.get("citus"), "executor", None
-                )
-                report = getattr(executor, "last_report", None)
-                if report is not None and report.task_count:
-                    lines.append(
-                        f"  (tasks={report.task_count}"
-                        f" connections={report.connections_used}"
-                        f" simulated time={report.elapsed * 1000:.2f}ms)"
-                    )
             else:
                 result = self._execute_local_dml(inner, params) if isinstance(
                     inner, (A.Select, A.Insert, A.Update, A.Delete)

@@ -1,11 +1,13 @@
 """Cluster-wide statistics counters (the ``pg_stat_*`` / ``citus_stat_*``
 pattern).
 
-A :class:`StatsRegistry` holds monotonically increasing **counters** and
-up/down **gauges**, optionally labelled by node name, so the distributed
-machinery can expose its internal decisions — which planner tier fired, how
-many tasks ran, how many connections slow-start opened, how many 2PC
-prepares each worker saw — as structured, queryable numbers.
+A :class:`StatsRegistry` holds monotonically increasing **counters**,
+up/down **gauges**, and log-bucketed **histograms**
+(:class:`LogHistogram`), optionally labelled by node name, so the
+distributed machinery can expose its internal decisions — which planner
+tier fired, how many tasks ran, how many connections slow-start opened,
+how many 2PC prepares each worker saw, how statement latency distributes —
+as structured, queryable numbers.
 
 The registry is deliberately engine-level (it knows nothing about Citus):
 any subsystem may attach one to a shared holder object via
@@ -21,10 +23,101 @@ of resetting global state, and guard gauge balance with
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from contextlib import contextmanager
 
 _UNLABELLED = ""
+
+
+class LogHistogram:
+    """A log-bucketed histogram of non-negative observations (latencies,
+    byte counts).
+
+    Buckets grow geometrically from ``base`` by ``factor`` per step, so a
+    fixed, small number of integer counters covers nine orders of
+    magnitude with bounded relative error — the classic HdrHistogram /
+    Prometheus trade-off. Exact ``count``/``sum``/``min``/``max`` are kept
+    alongside so the extremes never suffer bucket rounding.
+
+    ``percentile`` walks the cumulative bucket counts and reports the
+    upper bound of the bucket containing the requested rank, which makes
+    p50 <= p95 <= p99 monotone by construction.
+    """
+
+    __slots__ = ("base", "log_factor", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, base: float = 1e-6, factor: float = 1.5):
+        self.base = base
+        self.log_factor = math.log(factor)
+        self.buckets: Counter = Counter()
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram observation must be >= 0, got {value}")
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.buckets[self._index(value)] += 1
+
+    def _index(self, value: float) -> int:
+        if value <= self.base:
+            return 0
+        return 1 + int(math.log(value / self.base) / self.log_factor)
+
+    def _upper_bound(self, index: int) -> float:
+        return self.base * math.exp(self.log_factor * index)
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` (0..100); 0.0 on an empty histogram.
+
+        Clamped to the observed ``min``/``max`` so bucket rounding can
+        never report a value outside the real range.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return min(max(self._upper_bound(index), self.min), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "LogHistogram") -> None:
+        if other.base != self.base or other.log_factor != self.log_factor:
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        self.buckets.update(other.buckets)
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self):
+        return f"LogHistogram(count={self.count}, p50={self.percentile(50):.6g}, max={self.max:.6g})"
 
 
 class StatsSnapshot:
@@ -104,6 +197,10 @@ class StatsRegistry:
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Counter] = {}
+        self._histograms: dict[str, LogHistogram] = {}
+        # Names registered through gauge_max: high-water marks, not live
+        # levels, so reset() may safely zero them (live gauges it must not).
+        self._peaks: set[str] = set()
 
     # ------------------------------------------------------------ writing
 
@@ -119,10 +216,18 @@ class StatsRegistry:
     def gauge_max(self, name: str, value: int, node: str | None = None) -> None:
         """Raise a high-water-mark gauge to ``value`` if currently below it
         (``rows_buffered_peak``-style peak accounting)."""
+        self._peaks.add(name)
         per_node = self._gauges.setdefault(name, Counter())
         key = node or _UNLABELLED
         if value > per_node[key]:
             per_node[key] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named log-bucketed histogram."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = LogHistogram()
+        hist.observe(value)
 
     @contextmanager
     def track(self, name: str, node: str | None = None):
@@ -138,8 +243,20 @@ class StatsRegistry:
             self.gauge_decr(name, 1, node)
 
     def reset(self) -> None:
+        """Zero the accumulated statistics.
+
+        Counters, histograms, and high-water-mark gauges (anything ever
+        written through :meth:`gauge_max`, e.g. ``rows_buffered_peak``)
+        are cleared. **Live** up/down gauges — current pool slots,
+        in-flight tasks, open sessions — are preserved: zeroing a level
+        while its resource is still held would let the matching decrement
+        drive it negative and desynchronise admission control from
+        reality forever after.
+        """
         self._counters.clear()
-        self._gauges.clear()
+        self._histograms.clear()
+        for name in self._peaks:
+            self._gauges.pop(name, None)
 
     # ------------------------------------------------------------ reading
 
@@ -151,6 +268,12 @@ class StatsRegistry:
 
     def per_node(self, name: str) -> dict[str, int]:
         return self.snapshot().per_node(name)
+
+    def histogram(self, name: str) -> LogHistogram | None:
+        return self._histograms.get(name)
+
+    def histograms(self) -> dict[str, LogHistogram]:
+        return dict(self._histograms)
 
     def snapshot(self) -> StatsSnapshot:
         return StatsSnapshot(self._counters, self._gauges)

@@ -73,6 +73,13 @@ class Network:
         transfer = payload_bytes / (self.spec.bandwidth_mb_s * 1e6)
         return self.spec.rtt_ms / 1000.0 + transfer
 
+    def note_transfer(self, payload_bytes: int) -> float:
+        """Record extra payload riding an exchange already counted by
+        :meth:`note_round_trip` (a blocking result set following its
+        request): bandwidth cost only, no additional message or RTT."""
+        self.bytes_sent += payload_bytes
+        return payload_bytes / (self.spec.bandwidth_mb_s * 1e6)
+
     def connection_setup_cost(self) -> float:
         return self.spec.connection_setup_ms / 1000.0
 
@@ -95,21 +102,30 @@ class RemoteConnection:
         self.busy_until = 0.0  # simulated time when current task finishes
         self.elapsed = 0.0  # total simulated busy time
         self.round_trips = 0
+        self.bytes_transferred = 0  # wire bytes either direction
         self.closed = False
 
     def execute(self, sql: str, params=None, payload_bytes: int = 256,
                 allow_block: bool = False):
+        """One blocking request/response exchange.
+
+        The request is charged as one round trip up front — it crosses the
+        wire whether or not the worker statement then fails — and the
+        response rows are charged at their actual byte size
+        (``estimate_row_bytes``), so the blocking plane prices the wire
+        exactly like the streaming cursors do.
+        """
         if self.closed:
             raise NodeUnavailable(f"connection to {self.node_name} is closed")
         self.round_trips += 1
-        latency = self.network.note_round_trip(payload_bytes)
-        self.elapsed += latency
+        self.bytes_transferred += payload_bytes
+        self.elapsed += self.network.note_round_trip(payload_bytes)
         if allow_block:
             handle = self.session.execute_async(sql, params)
             if handle.done:
-                return handle.get()
+                return self._charge_result(handle.get())
             raise RemoteBlocked(handle, self)
-        return self.session.execute(sql, params)
+        return self._charge_result(self.session.execute(sql, params))
 
     def execute_parsed(self, stmt, params=None, payload_bytes: int = 256,
                        allow_block: bool = False):
@@ -120,14 +136,25 @@ class RemoteConnection:
         if self.closed:
             raise NodeUnavailable(f"connection to {self.node_name} is closed")
         self.round_trips += 1
-        latency = self.network.note_round_trip(payload_bytes)
-        self.elapsed += latency
+        self.bytes_transferred += payload_bytes
+        self.elapsed += self.network.note_round_trip(payload_bytes)
         if allow_block:
             handle = self.session.execute_parsed_async(stmt, params)
             if handle.done:
-                return handle.get()
+                return self._charge_result(handle.get())
             raise RemoteBlocked(handle, self)
-        return self.session.execute_parsed(stmt, params)
+        return self._charge_result(self.session.execute_parsed(stmt, params))
+
+    def _charge_result(self, result):
+        """Bandwidth-charge a blocking result set at its actual wire size
+        (the response rides the round trip already counted, so only the
+        transfer term is added — no extra message)."""
+        rows = getattr(result, "rows", None)
+        if rows:
+            payload = sum(estimate_row_bytes(r) for r in rows)
+            self.bytes_transferred += payload
+            self.elapsed += self.network.note_transfer(payload)
+        return result
 
     def execute_async(self, sql: str, params=None):
         self.round_trips += 1
@@ -143,6 +170,7 @@ class RemoteConnection:
         if self.closed:
             raise NodeUnavailable(f"connection to {self.node_name} is closed")
         self.round_trips += 1
+        self.bytes_transferred += 256
         self.elapsed += self.network.note_round_trip()
         engine_cursor = None
         if stmt is not None:
@@ -162,11 +190,15 @@ class RemoteConnection:
         if self.closed:
             raise NodeUnavailable(f"connection to {self.node_name} is closed")
         # Charge the wire cost up front, like execute(): the rows cross the
-        # network whether or not the worker-side copy then fails.
+        # network whether or not the worker-side copy then fails. The
+        # payload is the rows' actual wire size, same pricing as the
+        # result-set and cursor-batch directions.
         if not hasattr(rows, "__len__"):
             rows = list(rows)
+        payload = sum(estimate_row_bytes(r) for r in rows) if rows else _ROW_OVERHEAD
         self.round_trips += 1
-        self.elapsed += self.network.note_round_trip(payload_bytes=64 * max(len(rows), 1))
+        self.bytes_transferred += payload
+        self.elapsed += self.network.note_round_trip(payload_bytes=payload)
         return self.session.copy_rows(table, rows, columns)
 
     def begin_if_needed(self) -> None:
@@ -224,11 +256,13 @@ class RemoteCursor:
             self.exhausted = True
             # Observing end-of-stream costs a bare round trip.
             self.conn.round_trips += 1
+            self.conn.bytes_transferred += _ROW_OVERHEAD
             self.conn.elapsed += self.conn.network.note_round_trip(_ROW_OVERHEAD)
             self.last_payload = 0
             return None
         payload = sum(estimate_row_bytes(r) for r in rows)
         self.conn.round_trips += 1
+        self.conn.bytes_transferred += payload
         self.conn.elapsed += self.conn.network.note_round_trip(payload)
         self.last_payload = payload
         self.bytes_fetched += payload
@@ -246,5 +280,6 @@ class RemoteCursor:
         self.closed = True
         if not self.exhausted and not self.conn.closed:
             self.conn.round_trips += 1
+            self.conn.bytes_transferred += _ROW_OVERHEAD
             self.conn.elapsed += self.conn.network.note_round_trip(_ROW_OVERHEAD)
         self._cursor.close()

@@ -34,16 +34,32 @@ class ConnectionPool:
         self.stats.gauge_incr("pool_clients", node=self._node)
         return PooledClient(self)
 
+    def _tracer(self):
+        """The instance's tracer while it is collecting, else None (the
+        attribute only exists once a Citus cluster attached one)."""
+        tracer = getattr(self.instance, "tracer", None)
+        if tracer is not None and tracer.active:
+            return tracer
+        return None
+
     def _acquire(self):
+        tracer = self._tracer()
         if self._idle:
             session = self._idle.pop()
             self.stats.incr("pool_session_reuses", node=self._node)
+            if tracer is not None:
+                tracer.event("pool.lease", "pool", node=self._node, reused=True)
         elif self._lease_count < self.pool_size:
             session = self.instance.connect("pgbouncer")
             self.stats.incr("pool_sessions_opened", node=self._node)
+            if tracer is not None:
+                tracer.event("pool.lease", "pool", node=self._node, reused=False)
         else:
             self.waits += 1
             self.stats.incr("pool_exhausted", node=self._node)
+            if tracer is not None:
+                tracer.event("pool.exhausted", "pool", node=self._node,
+                             pool_size=self.pool_size)
             raise _PoolExhausted()
         self._lease_count += 1
         self.stats.gauge_incr("pool_leases", node=self._node)
@@ -53,6 +69,9 @@ class ConnectionPool:
     def _release(self, session) -> None:
         self._lease_count -= 1
         self.stats.gauge_decr("pool_leases", node=self._node)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event("pool.release", "pool", node=self._node)
         if session.in_transaction:
             session.rollback()
         self._idle.append(session)
