@@ -1,0 +1,194 @@
+"""Wait-event instrumentation overhead benchmark.
+
+Runs the fast-path CRUD loop (the same workload as ``bench_hotpath``)
+under two introspection modes on identical fresh clusters:
+
+- **off** — ``citus.enable_introspection`` disabled: every node's
+  ``wait_registry`` and ``tenant_stats`` are None, so the engine skips
+  wait-event and tenant accounting;
+- **on** — full wait-event accounting, per-statement activity tracking,
+  and tenant attribution (the default).
+
+Tracing is detached in *both* modes so this measures the introspection
+layer alone. The CI gate: the instrumented mode must stay within 5% of
+the uninstrumented one, judged by the median of per-round on/off
+throughput ratios (modes timed back-to-back per round, GC parked) so a
+noisy CI box cannot fail the gate on a scheduler hiccup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_waitevents.py [--quick]
+        [--out results.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import make_cluster  # noqa: E402
+
+#: Maximum allowed throughput loss with introspection enabled
+#: (overridable for CI tuning, like bench_hotpath's REGRESSION_FLOOR).
+ENABLED_BUDGET = float(os.environ.get("WAITEVENT_BUDGET", "0.05"))
+
+#: Independently allocated clusters per mode, rotated across rounds.
+_CLUSTERS_PER_MODE = 3
+
+
+def _setup(mode: str):
+    cluster = make_cluster(workers=2, shard_count=8, max_connections=2000)
+    session = cluster.coordinator_session()
+    session.execute(
+        "CREATE TABLE accounts (key int PRIMARY KEY, v int, filler text)"
+    )
+    session.execute("SELECT create_distributed_table('accounts', 'key')")
+    session.copy_rows(
+        "accounts", [[k, 0, f"filler-{k}"] for k in range(1, 201)],
+        ["key", "v", "filler"],
+    )
+    # Detach tracing everywhere: this benchmark isolates the wait-event /
+    # tenant accounting cost, not span collection (bench_tracing covers it).
+    for ext in cluster.extensions.values():
+        ext.tracer = None
+    for node in cluster.cluster.nodes.values():
+        node.tracer = None
+    if mode == "off":
+        session.execute(
+            "SELECT citus_set_config('enable_introspection', :v)", {"v": False}
+        )
+    elif mode != "on":
+        raise ValueError(mode)
+    return cluster, session
+
+
+def _crud_loop(session, iterations: int) -> float:
+    """The fast-path workload; returns statements/sec."""
+    select_sql = "SELECT v FROM accounts WHERE key = :key"
+    update_sql = "UPDATE accounts SET v = v + :d WHERE key = :key"
+    start = time.perf_counter()
+    for i in range(iterations):
+        key = (i % 200) + 1
+        session.execute(select_sql, {"key": key})
+        session.execute(update_sql, {"d": 1, "key": key})
+    return iterations * 2 / (time.perf_counter() - start)
+
+
+def _measure_rounds(setups, modes, iterations, trials, rates) -> list:
+    """Run ``trials`` interleaved rounds (rotating the cluster pair, both
+    modes timed back-to-back in alternating order, GC parked); returns
+    per-round overhead ratios and appends per-mode rates into ``rates``."""
+    overheads = []
+    gc_was_enabled = gc.isenabled()
+    try:
+        for trial in range(trials):
+            order = modes if trial % 2 == 0 else modes[::-1]
+            pair = trial % _CLUSTERS_PER_MODE
+            rate = {}
+            for mode in order:
+                gc.collect()
+                gc.disable()
+                rate[mode] = _crud_loop(setups[mode][pair][1], iterations)
+                if gc_was_enabled:
+                    gc.enable()
+            overheads.append(1.0 - rate["on"] / rate["off"])
+            for mode in modes:
+                rates[mode].append(rate[mode])
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return overheads
+
+
+def run(quick: bool = False) -> dict:
+    # Many short rounds beat few long ones: contention bursts on a shared
+    # box last longer than one loop, so the per-round ratio carries ~5%
+    # noise regardless of round length — only the round count shrinks the
+    # median's standard error.
+    iterations = 400 if quick else 1000
+    trials = 25 if quick else 31
+    modes = ("off", "on")
+    # Several independently allocated clusters per mode, rotated across
+    # rounds: two "identical" clusters can differ by a persistent few
+    # percent from allocation/layout luck alone, and a single unlucky
+    # pair would bias every round the same way.
+    setups = {mode: [_setup(mode) for _ in range(_CLUSTERS_PER_MODE)]
+              for mode in modes}
+    for mode in modes:
+        for setup in setups[mode]:
+            _crud_loop(setup[1], max(iterations // 5, 20))
+    # The gate is the *median of per-round on/off ratios*, with the two
+    # modes timed back-to-back (alternating order) inside each round and
+    # the garbage collector parked during timing. Machine noise — a GC
+    # pause, a scheduler hiccup, a slow period on a shared CI box — hits
+    # both halves of a round about equally, so the per-round ratio stays
+    # honest, and the median discards the rounds where it didn't. When
+    # the first measurement still lands over budget, one confirmation
+    # pass re-measures before failing: a real regression fails twice, a
+    # biased host window rarely does.
+    rates = {mode: [] for mode in modes}
+    overheads = _measure_rounds(setups, modes, iterations, trials, rates)
+    overhead = statistics.median(overheads)
+    confirmed = False
+    if overhead > ENABLED_BUDGET:
+        print(f"over budget at {overhead * 100:+.2f}%;"
+              " running confirmation pass")
+        overheads += _measure_rounds(setups, modes, iterations, trials, rates)
+        overhead = statistics.median(overheads)
+        confirmed = True
+    results = {}
+    for mode in modes:
+        best = max(rates[mode])
+        results[mode] = {"mode": mode, "stmts_per_sec": best}
+        print(f"{mode:>3}: {best:>10.1f} stmts/sec (best of {len(rates[mode])})")
+    print(f"introspection overhead: {overhead * 100:+6.2f}%"
+          f" (budget {ENABLED_BUDGET * 100:.0f}%)")
+    # Sanity: the instrumented cluster really did account wait events.
+    from repro.engine.stats import stats_for
+    from repro.engine.waitevents import wait_totals
+
+    for cluster, _ in setups["on"]:
+        totals = wait_totals(stats_for(cluster.cluster))
+        if not totals:
+            raise AssertionError("instrumented run recorded no wait events")
+    return {
+        "config": {"iterations": iterations, "trials": trials, "quick": quick},
+        "results": results,
+        "overhead": overhead,
+        "round_overheads": overheads,
+        "confirmation_pass": confirmed,
+        "wait_event_kinds": len(totals),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--out", help="write results JSON to this path")
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick)
+
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.out}")
+
+    if report["overhead"] > ENABLED_BUDGET:
+        print(f"FAIL: introspection overhead exceeds {ENABLED_BUDGET * 100:.0f}%")
+        return 1
+    print("OK: introspection overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -165,11 +165,13 @@ class AdaptiveExecutor:
             except NodeUnavailable:
                 self.ext.release_shared_slot(node)
                 raise
+            setup = self.ext.cluster.network.connection_setup_cost()
             conns.append(conn)
-            busy[id(conn)] = now + self.ext.cluster.network.connection_setup_cost()
+            busy[id(conn)] = now + setup
             opened_this_statement += 1
             report.connections_opened += 1
             counters.incr("connections_opened", node=node)
+            session.wait_events.record("Net", "RemoteConnect", setup, node=node)
             if events is not None:
                 events.append(("connect", node, now, busy[id(conn)]))
             return conn
@@ -286,7 +288,12 @@ class AdaptiveExecutor:
         # proportional to rows produced/affected.
         rows = result.rowcount if result.rowcount else len(result.rows)
         cpu_cost = rows * self.ext.config.per_row_cpu_cost
-        return (conn.elapsed - before) + cpu_cost
+        cost = (conn.elapsed - before) + cpu_cost
+        session.wait_events.record(
+            "Net", "RemoteCopy" if task.copy_rows is not None else "RemoteExecute",
+            cost, node=conn.node_name,
+        )
+        return cost
 
 
     # -------------------------------------------------------- streaming
@@ -423,10 +430,12 @@ class StreamingExecution:
         except NodeUnavailable:
             self.ext.release_shared_slot(node)
             raise
+        setup = self.ext.cluster.network.connection_setup_cost()
         state["conns"].append(conn)
-        state["busy"][id(conn)] = now + self.ext.cluster.network.connection_setup_cost()
+        state["busy"][id(conn)] = now + setup
         self.report.connections_opened += 1
         self.counters.incr("connections_opened", node=node)
+        self.session.wait_events.record("Net", "RemoteConnect", setup, node=node)
         if self.tracer is not None:
             self._trace_connects.append((node, now, state["busy"][id(conn)]))
         return conn
@@ -499,6 +508,9 @@ class StreamingExecution:
         busy = state["busy"]
         start = busy.get(id(conn), 0.0)
         busy[id(conn)] = start + (conn.elapsed - before)
+        self.session.wait_events.record("Net", "RemoteDispatch",
+                                        conn.elapsed - before,
+                                        node=conn.node_name)
         if self.tracer is not None:
             self._trace_events[stream.index] = {
                 "node": conn.node_name,
@@ -529,6 +541,8 @@ class StreamingExecution:
         busy = state["busy"]
         start = busy.get(id(conn), 0.0)
         busy[id(conn)] = start + cost
+        self.session.wait_events.record("Net", "RemoteFetch", cost,
+                                        node=conn.node_name)
         if self.tracer is not None and stream.index in self._trace_events:
             self._trace_events[stream.index]["batches"].append(
                 (start, start + cost,

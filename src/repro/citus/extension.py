@@ -47,6 +47,9 @@ class CitusConfig:
     enable_tracing: bool = True  # collect a span tree per statement
     trace_buffer_size: int = 256  # ring buffer of finished traces
     log_min_duration: float = -1.0  # slow-query log threshold (ms); <0 off
+    # Live introspection: wait-event accounting + per-tenant statistics
+    # (citus_dist_stat_activity / citus_lock_waits / citus_stat_tenants).
+    enable_introspection: bool = True
 
 
 class NamedArgument:
@@ -270,6 +273,7 @@ def install_citus(instance, cluster, config: CitusConfig | None = None,
         )
         ext.tracer = tracer
         instance.tracer = tracer
+    _configure_introspection(ext)
     _register_udfs(ext)
     instance.hooks.planner_hooks.append(make_planner_hook(ext))
     instance.hooks.utility_hooks.append(_make_utility_hook(ext))
@@ -281,6 +285,41 @@ def install_citus(instance, cluster, config: CitusConfig | None = None,
         interval=ext.config.deadlock_detection_interval_s,
     )
     return ext
+
+
+# ------------------------------------------------------------ introspection
+
+
+def _configure_introspection(ext: CitusExtension) -> None:
+    """Point every node's engine-level wait-event accounting at the
+    cluster-wide stats registry and attach the shared tenant-stats table
+    (or detach both when ``citus.enable_introspection`` is off — the
+    engine then skips accounting entirely on the hot path)."""
+    from .introspection import tenant_stats_for
+
+    holder = ext.cluster if ext.cluster is not None else ext
+    if ext.config.enable_introspection:
+        registry = stats_for(holder)
+        tenants = tenant_stats_for(holder)
+    else:
+        registry = None
+        tenants = None
+    instances = (ext.cluster.nodes.values() if ext.cluster is not None
+                 else (ext.instance,))
+    for instance in instances:
+        instance.wait_registry = registry
+        instance.tenant_stats = tenants
+
+
+def view_rows(records, columns, sort_key=None) -> list[list]:
+    """Render per-row mappings into the list-of-lists shape every
+    monitoring UDF returns, in a fixed column order. The single formatter
+    behind citus_shards, citus_tables, citus_stat_counters and the live
+    introspection views."""
+    rows = [[record.get(column) for column in columns] for record in records]
+    if sort_key is not None:
+        rows.sort(key=sort_key)
+    return rows
 
 
 # --------------------------------------------------------------------- UDFs
@@ -391,30 +430,49 @@ def _register_udfs(ext: CitusExtension) -> None:
     def citus_shards(session):
         """Rows of the citus_shards monitoring view, as an array of
         [table, shardid, shard_name, node, size_bytes] entries."""
-        out = []
-        for table in ext.metadata.cache.tables.values():
-            for shard in table.shards:
-                for node in ext.metadata.all_placements(shard.shardid):
-                    instance = ext.cluster.node(node)
-                    size = 0
-                    if instance.catalog.has_table(shard.shard_name):
-                        size = instance.catalog.get_table(shard.shard_name).heap.total_bytes
-                    out.append([table.name, shard.shardid, shard.shard_name, node, size])
-        return out
+        def records():
+            for table in ext.metadata.cache.tables.values():
+                for shard in table.shards:
+                    for node in ext.metadata.all_placements(shard.shardid):
+                        instance = ext.cluster.node(node)
+                        size = 0
+                        if instance.catalog.has_table(shard.shard_name):
+                            size = instance.catalog.get_table(
+                                shard.shard_name
+                            ).heap.total_bytes
+                        yield {
+                            "table_name": table.name,
+                            "shardid": shard.shardid,
+                            "shard_name": shard.shard_name,
+                            "nodename": node,
+                            "shard_size": size,
+                        }
+
+        return view_rows(records(), (
+            "table_name", "shardid", "shard_name", "nodename", "shard_size",
+        ))
 
     def citus_tables(session):
         """Rows of the citus_tables monitoring view: [table, citus_table_type,
         distribution_column, colocation_id, shard_count, size_bytes]."""
-        out = []
-        for table in ext.metadata.cache.tables.values():
-            kind = "reference" if table.is_reference else (
-                "range distributed" if table.method == "r" else "distributed"
-            )
-            out.append([
-                table.name, kind, table.dist_column, table.colocation_id,
-                table.shard_count, ext.table_size_estimate(table.name),
-            ])
-        return out
+        def records():
+            for table in ext.metadata.cache.tables.values():
+                kind = "reference" if table.is_reference else (
+                    "range distributed" if table.method == "r" else "distributed"
+                )
+                yield {
+                    "table_name": table.name,
+                    "citus_table_type": kind,
+                    "distribution_column": table.dist_column,
+                    "colocation_id": table.colocation_id,
+                    "shard_count": table.shard_count,
+                    "table_size": ext.table_size_estimate(table.name),
+                }
+
+        return view_rows(records(), (
+            "table_name", "citus_table_type", "distribution_column",
+            "colocation_id", "shard_count", "table_size",
+        ))
 
     def citus_set_config(session, name, value):
         if not hasattr(ext.config, name):
@@ -429,6 +487,8 @@ def _register_udfs(ext: CitusExtension) -> None:
                 buffer_size=ext.config.trace_buffer_size,
                 log_min_duration=ext.config.log_min_duration,
             )
+        if name == "enable_introspection":
+            _configure_introspection(ext)
         return value
 
     def alter_table_set_access_method(session, table_name, method):
@@ -445,34 +505,52 @@ def _register_udfs(ext: CitusExtension) -> None:
 
         from ..engine.compile import compile_count
 
-        out = []
         snap = ext.stat_counters.snapshot()
         # Expression compilations happen in the engine layer (shared by all
         # nodes of this process); surfaced here relative to the last reset.
         compiled = compile_count() - ext.expr_compile_baseline
         if compiled:
             snap.counters["expr_compile_count"] = _Counter({"": compiled})
-        for kind in (snap.counters, snap.gauges):
-            for name in sorted(kind):
-                for node, value in sorted(kind[name].items()):
-                    out.append([name, node or None, value])
-        return out
 
-    def citus_stat_reset(session):
-        """citus_stat_counters_reset(): zero the cluster-wide statistics.
+        def records():
+            for kind in (snap.counters, snap.gauges):
+                for name in sorted(kind):
+                    for node, value in sorted(kind[name].items()):
+                        yield {"name": name, "node": node or None, "value": value}
 
-        Reset semantics: monotonic counters, latency histograms, and
-        high-water gauges (peaks recorded via ``gauge_max``, e.g.
-        ``rows_buffered_peak``) are cleared; *live* up/down gauges
-        (``shared_pool_slots``, ``tasks_in_flight``, ...) are preserved,
-        because they track currently-held resources — zeroing a held
-        level would go negative on release. Statement telemetry has its
-        own reset: ``citus_stat_statements_reset()``.
-        """
+        return view_rows(records(), ("name", "node", "value"))
+
+    def _reset_counters():
         from ..engine.compile import compile_count
 
         ext.stat_counters.reset()
         ext.expr_compile_baseline = compile_count()
+
+    def _reset_statements():
+        if ext.tracer is not None:
+            ext.tracer.stat_statements.reset()
+
+    def _reset_tenants():
+        stats = ext.instance.tenant_stats
+        if stats is not None:
+            stats.reset()
+
+    def citus_stat_counters_reset(session):
+        """citus_stat_counters_reset(): zero the cluster-wide statistics.
+
+        Reset semantics: monotonic counters (including the wait-event
+        count/time accumulators), latency histograms, and high-water
+        gauges (peaks recorded via ``gauge_max``, e.g.
+        ``rows_buffered_peak``) are cleared; *live* up/down gauges
+        (``shared_pool_slots``, ``wait_events_in_progress``, ...) are
+        preserved, because they track currently-held resources — zeroing
+        a held level would go negative on release. Tenant statistics are
+        cleared alongside (they are derived from the same accounting
+        epoch). Statement telemetry has its own reset:
+        ``citus_stat_statements_reset()``.
+        """
+        _reset_counters()
+        _reset_tenants()
         return True
 
     def citus_explain(session, sql, *rest):
@@ -498,9 +576,31 @@ def _register_udfs(ext: CitusExtension) -> None:
         return ext.tracer.stat_statements.rows()
 
     def citus_stat_statements_reset(session):
-        if ext.tracer is not None:
-            ext.tracer.stat_statements.reset()
+        """Clear statement telemetry, plus the tenant statistics derived
+        from the same per-statement records."""
+        _reset_statements()
+        _reset_tenants()
         return True
+
+    def citus_stat_reset(session, mode="all"):
+        """citus_stat_reset([mode]): one reset to rule them all.
+
+        ``mode`` selects what to clear: 'counters' (cluster counters +
+        wait-event totals), 'statements' (citus_stat_statements),
+        'tenants' (citus_stat_tenants), or 'all' (the default).
+        """
+        if mode not in ("counters", "statements", "tenants", "all"):
+            raise MetadataError(
+                f"unknown citus_stat_reset mode {mode!r} "
+                "(expected counters, statements, tenants, or all)"
+            )
+        if mode in ("counters", "all"):
+            _reset_counters()
+        if mode in ("statements", "all"):
+            _reset_statements()
+        if mode in ("tenants", "all"):
+            _reset_tenants()
+        return mode
 
     def citus_trace_export(session, *rest):
         """Buffered traces as Chrome trace-event JSON (load the string in
@@ -521,6 +621,77 @@ def _register_udfs(ext: CitusExtension) -> None:
              e["rows"], e["error"]]
             for e in ext.tracer.slow_log
         ]
+
+    def citus_dist_stat_activity(session):
+        """Rows of the citus_dist_stat_activity view: one per open session
+        on any alive node — [global_pid, nodename, pid, distributed_txn_id,
+        application_name, state, wait_event_type, wait_event, citus_tier,
+        query, query_fingerprint, elapsed_ms]."""
+        from .introspection import activity_records
+
+        return view_rows(activity_records(ext), (
+            "global_pid", "nodename", "pid", "distributed_txn_id",
+            "application_name", "state", "wait_event_type", "wait_event",
+            "citus_tier", "query", "query_fingerprint", "elapsed_ms",
+        ))
+
+    def citus_lock_waits(session):
+        """Rows of the citus_lock_waits view: one per (waiter, holder)
+        edge in any node's lock wait-for graph, both sides resolved back
+        to the originating query — [waiting_gpid, blocking_gpid,
+        blocked_statement, current_statement_in_blocking_process,
+        waiting_nodename, blocking_nodename, lock]."""
+        from .introspection import lock_waits_records
+
+        return view_rows(lock_waits_records(ext), (
+            "waiting_gpid", "blocking_gpid", "blocked_statement",
+            "current_statement_in_blocking_process",
+            "waiting_nodename", "blocking_nodename", "lock",
+        ))
+
+    def get_rebalance_progress(session):
+        """Rows of get_rebalance_progress(): one per shard move (in
+        progress, completed, or failed) — [move_id, table_name, shardid,
+        source, target, bytes_copied, bytes_total, rows_copied,
+        rows_total, phase, status, error]."""
+        from .rebalancer import progress_for
+
+        return view_rows(
+            ({
+                "move_id": m.move_id, "table_name": m.table_name,
+                "shardid": m.shardid, "source": m.source, "target": m.target,
+                "bytes_copied": m.bytes_copied, "bytes_total": m.bytes_total,
+                "rows_copied": m.rows_copied, "rows_total": m.rows_total,
+                "phase": m.phase, "status": m.status, "error": m.error,
+            } for m in progress_for(ext).moves),
+            ("move_id", "table_name", "shardid", "source", "target",
+             "bytes_copied", "bytes_total", "rows_copied", "rows_total",
+             "phase", "status", "error"),
+        )
+
+    def citus_stat_tenants(session):
+        """Rows of the citus_stat_tenants view, busiest tenant first —
+        [tenant_attribute, query_count, rows, total_query_time_ms,
+        total_wait_time_ms]."""
+        stats = ext.instance.tenant_stats
+        if stats is None:
+            return []
+        return view_rows(
+            ({
+                "tenant_attribute": tenant, "query_count": calls,
+                "rows": rows, "total_query_time_ms": query_s * 1000.0,
+                "total_wait_time_ms": wait_s * 1000.0,
+            } for tenant, calls, rows, query_s, wait_s in stats.records()),
+            ("tenant_attribute", "query_count", "rows",
+             "total_query_time_ms", "total_wait_time_ms"),
+        )
+
+    def citus_metrics_snapshot(session, *rest):
+        """All counters, gauges, wait-event totals, histograms, and
+        per-node health in Prometheus text exposition format."""
+        from .metrics import metrics_snapshot
+
+        return metrics_snapshot(ext)
 
     registry = {
         "citus_add_node": citus_add_node,
@@ -545,13 +716,19 @@ def _register_udfs(ext: CitusExtension) -> None:
         "citus_set_config": citus_set_config,
         "alter_table_set_access_method": alter_table_set_access_method,
         "citus_stat_counters": citus_stat_counters,
-        "citus_stat_counters_reset": citus_stat_reset,
+        "citus_stat_counters_reset": citus_stat_counters_reset,
+        "citus_stat_reset": citus_stat_reset,
         "citus_explain": citus_explain,
         "citus_explain_analyze": citus_explain_analyze,
         "citus_stat_statements": citus_stat_statements,
         "citus_stat_statements_reset": citus_stat_statements_reset,
         "citus_trace_export": citus_trace_export,
         "citus_slow_queries": citus_slow_queries,
+        "citus_dist_stat_activity": citus_dist_stat_activity,
+        "citus_lock_waits": citus_lock_waits,
+        "get_rebalance_progress": get_rebalance_progress,
+        "citus_stat_tenants": citus_stat_tenants,
+        "citus_metrics_snapshot": citus_metrics_snapshot,
     }
     for name, fn in registry.items():
         catalog.register_function(name, fn)

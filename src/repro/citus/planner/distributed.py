@@ -17,6 +17,7 @@ from ...engine.hooks import CustomScanPlan
 from ...errors import NotNullViolation, UnsupportedDistributedQuery
 from ...sql import ast as A
 from ..sharding import analyze_statement, collect_table_names
+from ..tracing import partition_key_for
 from .fast_path import try_fast_path
 from .pushdown import plan_pushdown_dml, plan_pushdown_select
 from .router import try_router
@@ -44,20 +45,28 @@ def make_planner_hook(ext):
         if tier:
             ext.stat_counters.incr(f"planner_{tier}")
         tracer = ext.tracer
-        if tracer is not None and tracer.active:
+        tracing = tracer is not None and tracer.active
+        tenant = None
+        if tracing or ext.instance.tenant_stats is not None:
+            # Tenant attribution works on the raw statement + params, so it
+            # is identical on plan-cache hits and misses — the cached fast
+            # path must still stamp the tenant id.
+            tenant = partition_key_for(ext, stmt, params)
+            session._citus_tier = tier
+            session._citus_tenant = tenant
+        if tracing:
             _trace_planning(ext, tracer, session, stmt, params, plan,
-                            tier, cache_hit)
+                            tier, cache_hit, tenant)
         return plan
 
     return planner_hook
 
 
 def _trace_planning(ext, tracer, session, stmt, params, plan, tier,
-                    cache_hit: bool) -> None:
+                    cache_hit: bool, tenant) -> None:
     """Attach the plan span and statement-level attribution to the active
     trace. Planning consumes no simulated time, so the span is an instant
     marker carrying the cascade's decisions."""
-    from ..tracing import partition_key_for
     from .plan_cache import _normalize_statement
 
     task_count = None
@@ -81,7 +90,7 @@ def _trace_planning(ext, tracer, session, stmt, params, plan, tier,
     tracer.annotate(
         tier=tier,
         fingerprint=fingerprint,
-        tenant=partition_key_for(ext, stmt, params),
+        tenant=tenant,
         cached=cache_hit,
     )
 

@@ -18,11 +18,87 @@ minimal write downtime."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import RebalanceError
 from .ddl import shard_ddl_statements
+
+#: Phases every shard move passes through, in order (§3.4's protocol:
+#: initial copy under logical replication, write-blocked catch-up,
+#: metadata switch). ``get_rebalance_progress`` reports where each
+#: in-flight move currently is.
+MOVE_PHASES = ("copy", "catchup", "metadata")
+
+
+@dataclass
+class ShardMoveProgress:
+    """Live progress of one shard move, exposed by
+    ``get_rebalance_progress()``. A move that dies mid-protocol is kept
+    with ``status="failed"`` and the phase it reached — a silently
+    dropped entry would hide exactly the moves an operator most needs to
+    see."""
+
+    move_id: int
+    table_name: str
+    shardid: int
+    source: str
+    target: str
+    bytes_total: int = 0
+    bytes_copied: int = 0
+    rows_total: int = 0
+    rows_copied: int = 0
+    phase: str = "copy"
+    status: str = "moving"  # moving | completed | failed
+    error: str | None = None
+    started_at: float = 0.0
+    updated_at: float = 0.0
+    # [(phase, simulated time entered)] — monotone along MOVE_PHASES.
+    phase_history: list = field(default_factory=list)
+
+    def enter_phase(self, phase: str, at: float) -> None:
+        self.phase = phase
+        self.updated_at = at
+        self.phase_history.append((phase, at))
+
+
+class RebalanceProgress:
+    """The cluster-wide shard-move progress table (bounded history)."""
+
+    MAX_MOVES = 256
+
+    def __init__(self):
+        self.moves: list[ShardMoveProgress] = []
+        self._seq = itertools.count(1)
+
+    def start_move(self, table_name: str, shardid: int, source: str,
+                   target: str, at: float, bytes_total: int = 0) -> ShardMoveProgress:
+        move = ShardMoveProgress(
+            next(self._seq), table_name, shardid, source, target,
+            bytes_total=bytes_total, started_at=at, updated_at=at,
+        )
+        move.phase_history.append(("copy", at))
+        self.moves.append(move)
+        if len(self.moves) > self.MAX_MOVES:
+            del self.moves[: len(self.moves) - self.MAX_MOVES]
+        return move
+
+    def active_moves(self) -> list[ShardMoveProgress]:
+        return [m for m in self.moves if m.status == "moving"]
+
+
+_PROGRESS_ATTR = "_citus_rebalance_progress"
+
+
+def progress_for(ext) -> RebalanceProgress:
+    """The progress table shared by every extension of one cluster."""
+    holder = ext.cluster if ext.cluster is not None else ext
+    progress = getattr(holder, _PROGRESS_ATTR, None)
+    if progress is None:
+        progress = RebalanceProgress()
+        setattr(holder, _PROGRESS_ATTR, progress)
+    return progress
 
 
 @dataclass
@@ -171,38 +247,76 @@ def move_shard(ext, session, shardid: int, target_node: str,
 
     source = ext.cluster.node(source_node)
     clock = ext.cluster.clock
+    progress = progress_for(ext)
+    entries = []
     for shard_interval, dist_table in to_move:
-        shell = ext.instance.catalog.get_table(dist_table.name)
-        shard_index = None
-        if not dist_table.is_reference:
-            shard_index = [s.shardid for s in dist_table.shards].index(
-                shard_interval.shardid
-            )
-        target_conn = ext.worker_connection(target_node)
-        # 1. Create the replica structure on the target.
-        for ddl in shard_ddl_statements(ext, shell, shard_interval.shard_name,
-                                        shard_index):
-            target_conn.execute(ddl)
-        # 2. Initial copy under logical replication (reads and writes
-        # continue on the source while this runs).
-        rows = _read_shard_rows(source, shard_interval.shard_name)
-        target_conn.copy_rows(shard_interval.shard_name, rows)
-        ext.stat_counters.incr("rebalancer_rows_copied", len(rows))
-        clock.advance(len(rows) * 1e-6 + 0.05)
-    # 3. Brief write block + catch-up + metadata switch (seconds, not
-    # minutes: "minimal write downtime").
-    clock.advance(2.0)
-    for shard_interval, _table in to_move:
-        ext.metadata.update_placement(session, shard_interval.shardid, target_node)
-    ext.sync_metadata_if_enabled(session)
-    # 4. Drop the old placements.
-    for shard_interval, _table in to_move:
-        try:
-            ext.worker_connection(source_node).execute(
-                f"DROP TABLE IF EXISTS {shard_interval.shard_name}"
-            )
-        except Exception:
-            pass
+        total = 0
+        if source.is_up and source.catalog.has_table(shard_interval.shard_name):
+            total = source.catalog.get_table(shard_interval.shard_name).heap.total_bytes
+        entries.append(progress.start_move(
+            dist_table.name, shard_interval.shardid, source_node, target_node,
+            clock.now(), bytes_total=total,
+        ))
+    try:
+        for entry, (shard_interval, dist_table) in zip(entries, to_move):
+            shell = ext.instance.catalog.get_table(dist_table.name)
+            shard_index = None
+            if not dist_table.is_reference:
+                shard_index = [s.shardid for s in dist_table.shards].index(
+                    shard_interval.shardid
+                )
+            target_conn = ext.worker_connection(target_node)
+            # 1. Create the replica structure on the target.
+            for ddl in shard_ddl_statements(ext, shell, shard_interval.shard_name,
+                                            shard_index):
+                target_conn.execute(ddl)
+            # 2. Initial copy under logical replication (reads and writes
+            # continue on the source while this runs).
+            rows = _read_shard_rows(source, shard_interval.shard_name)
+            entry.rows_total = len(rows)
+            before = target_conn.elapsed
+            target_conn.copy_rows(shard_interval.shard_name, rows)
+            session.wait_events.record("Net", "RemoteCopy",
+                                       target_conn.elapsed - before,
+                                       node=target_node)
+            entry.rows_copied = len(rows)
+            entry.bytes_copied = entry.bytes_total
+            ext.stat_counters.incr("rebalancer_rows_copied", len(rows))
+            clock.advance(len(rows) * 1e-6 + 0.05)
+            entry.updated_at = clock.now()
+        # 3. Brief write block + catch-up + metadata switch (seconds, not
+        # minutes: "minimal write downtime").
+        for entry in entries:
+            entry.enter_phase("catchup", clock.now())
+        clock.advance(2.0)
+        for entry, (shard_interval, _table) in zip(entries, to_move):
+            entry.enter_phase("metadata", clock.now())
+            ext.metadata.update_placement(session, shard_interval.shardid,
+                                          target_node)
+        ext.sync_metadata_if_enabled(session)
+        # 4. Drop the old placements.
+        for shard_interval, _table in to_move:
+            try:
+                ext.worker_connection(source_node).execute(
+                    f"DROP TABLE IF EXISTS {shard_interval.shard_name}"
+                )
+            except Exception:
+                pass
+    except Exception as exc:
+        # Record the aborted move with the phase it reached instead of
+        # silently dropping it from the progress table.
+        at = clock.now()
+        for entry in entries:
+            if entry.status == "moving":
+                entry.status = "failed"
+                entry.error = f"{type(exc).__name__}: {exc}"
+                entry.updated_at = at
+        ext.stat_counters.incr("rebalancer_moves_failed", len(entries))
+        raise
+    at = clock.now()
+    for entry in entries:
+        entry.status = "completed"
+        entry.updated_at = at
     ext.stats["shard_moves"] += len(to_move)
     ext.stat_counters.incr("rebalancer_shard_moves", len(to_move), node=target_node)
 

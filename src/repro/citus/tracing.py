@@ -33,6 +33,7 @@ import json
 from collections import deque
 from contextlib import contextmanager
 
+from ..engine.expr import BoundParams
 from ..engine.stats import LogHistogram
 from ..sql import ast as A
 
@@ -594,41 +595,140 @@ def trace_for(holder, clock) -> Tracer:
 # --------------------------------------------------------- tenant extraction
 
 
+# Tenant extraction is memoized by statement identity (the engine's
+# statement cache returns the same AST object for repeated SQL text), so
+# the WHERE-clause walk runs once per distinct statement and metadata
+# generation; per execution only a pre-compiled value lookup remains.
+# A plain dict (wholesale clear at the cap) beats an LRU here: entries
+# are tiny and the id-keyed hit path must cost one dict.get, nothing more.
+_TENANT_EXPR_CACHE: dict = {}
+_TENANT_CACHE_CAP = 4096
+
+#: Resolver kinds a tenant expression compiles to (see _compile_tenant_plan).
+_K_VALUE, _K_NAMED, _K_POSITIONAL, _K_EXPR = 0, 1, 2, 3
+
+
+def _find_tenant_exprs(cache, stmt):
+    """Candidate AST expressions holding the statement's distribution-column
+    value (``dist_col = <expr>`` conjuncts, or the INSERT column), or None
+    when the statement is not single-tenant-shaped."""
+    from .planner.fast_path import _is_dist_ref
+    from .sharding import _conjuncts
+
+    if isinstance(stmt, A.Insert):
+        dist = cache.tables.get(stmt.table)
+        if dist is None or dist.is_reference or stmt.select is not None:
+            return None
+        if len(stmt.rows) != 1 or not stmt.columns:
+            return None
+        try:
+            position = stmt.columns.index(dist.dist_column)
+        except ValueError:
+            return None
+        return (stmt.rows[0][position],)
+    if isinstance(stmt, A.Select):
+        if len(stmt.from_items) != 1 or not isinstance(
+            stmt.from_items[0], A.TableRef
+        ):
+            return None
+        dist = cache.tables.get(stmt.from_items[0].name)
+        if dist is None or dist.is_reference:
+            return None
+        where, alias = stmt.where, stmt.from_items[0].ref_name
+    elif isinstance(stmt, (A.Update, A.Delete)):
+        dist = cache.tables.get(stmt.table)
+        if dist is None or dist.is_reference:
+            return None
+        where, alias = stmt.where, stmt.alias or stmt.table
+    else:
+        return None
+    if where is None:
+        return None
+    exprs = []
+    for conjunct in _conjuncts(where):
+        if not (isinstance(conjunct, A.BinaryOp) and conjunct.op == "="):
+            continue
+        left, right = conjunct.left, conjunct.right
+        if _is_dist_ref(right, dist, alias):
+            left, right = right, left
+        if _is_dist_ref(left, dist, alias):
+            exprs.append(right)
+    return tuple(exprs) or None
+
+
+def _compile_tenant_plan(exprs):
+    """Lower candidate expressions into (kind, payload) resolver steps so
+    the per-execution path is a couple of inline dict lookups — no AST
+    dispatch, no _const_of call for the common literal/param shapes."""
+    if not exprs:
+        return None
+    plan = []
+    for expr in exprs:
+        if type(expr) is A.Literal:
+            plan.append((_K_VALUE, expr.value))
+        elif type(expr) is A.Param:
+            if expr.name is not None:
+                plan.append((_K_NAMED, expr.name))
+            elif expr.index is not None:
+                plan.append((_K_POSITIONAL, expr.index))
+        else:
+            # Casts and anything exotic fall back to full constant folding.
+            plan.append((_K_EXPR, expr))
+    return tuple(plan) or None
+
+
+# Lazily bound once on first use (importing fast_path at module load would
+# couple tracing into the planner package's import order); a per-call
+# ``from ... import`` re-runs the importlib machinery on every statement.
+_MISS = _const_of = None
+
+
 def partition_key_for(ext, stmt, params):
     """The distribution-column value a single-tenant statement targets
     (the ``partition_key`` attribute of citus_stat_statements), or None
     for multi-shard statements."""
-    from .planner.fast_path import _MISS, _insert_dist_value, _single_dist_value
-
-    cache = ext.metadata.cache
-    try:
-        if isinstance(stmt, A.Insert):
-            dist = cache.tables.get(stmt.table)
-            if dist is None or dist.is_reference or stmt.select is not None:
-                return None
-            if len(stmt.rows) != 1 or not stmt.columns:
-                return None
-            value = _insert_dist_value(stmt, dist, params, cache)
-        elif isinstance(stmt, A.Select):
-            if len(stmt.from_items) != 1 or not isinstance(
-                stmt.from_items[0], A.TableRef
-            ):
-                return None
-            dist = cache.tables.get(stmt.from_items[0].name)
-            if dist is None or dist.is_reference:
-                return None
-            value = _single_dist_value(
-                stmt.where, dist, stmt.from_items[0].ref_name, params
-            )
-        elif isinstance(stmt, (A.Update, A.Delete)):
-            dist = cache.tables.get(stmt.table)
-            if dist is None or dist.is_reference:
-                return None
-            value = _single_dist_value(
-                stmt.where, dist, stmt.alias or stmt.table, params
-            )
-        else:
-            return None
-    except Exception:
+    global _MISS, _const_of
+    generation = ext.metadata.generation
+    key = id(stmt)
+    memo = _TENANT_EXPR_CACHE.get(key)
+    if memo is not None and memo[0] is stmt and memo[1] == generation:
+        plan = memo[2]
+    else:
+        try:
+            exprs = _find_tenant_exprs(ext.metadata.cache, stmt)
+        except Exception:
+            exprs = None
+        plan = _compile_tenant_plan(exprs)
+        if len(_TENANT_EXPR_CACHE) >= _TENANT_CACHE_CAP:
+            _TENANT_EXPR_CACHE.clear()
+        _TENANT_EXPR_CACHE[key] = (stmt, generation, plan)
+    if plan is None:
         return None
-    return None if value is _MISS else value
+    named = positional = None
+    params_type = type(params)
+    if params_type is dict:
+        named = params
+    elif params_type is BoundParams:
+        named = params.named
+        positional = params.positional
+    elif params_type is list or params_type is tuple:
+        positional = params
+    for kind, payload in plan:
+        if kind == _K_VALUE:
+            return payload
+        if kind == _K_NAMED:
+            if named is not None and payload in named:
+                return named[payload]
+        elif kind == _K_POSITIONAL:
+            if positional is not None and payload <= len(positional):
+                return positional[payload - 1]
+        else:
+            if _const_of is None:
+                from .planner.fast_path import _MISS, _const_of
+            try:
+                value = _const_of(payload, params)
+            except Exception:
+                return None
+            if value is not _MISS:
+                return value
+    return None

@@ -45,18 +45,21 @@ class TransactionCallbacks:
         return None
 
     @staticmethod
-    def _timed(tracer, conn, name: str, fn, **attrs):
-        """Run ``fn()`` and record it as a 2pc-phase span sized by the
-        connection's elapsed delta."""
-        if tracer is None:
-            return fn()
+    def _timed(session, tracer, conn, name: str, wait_event: str, fn, **attrs):
+        """Run ``fn()``, record it as a TwoPC wait event on the coordinator
+        session (sized by the connection's elapsed delta), and — while a
+        trace is being collected — as a 2pc-phase span."""
         before = conn.elapsed
-        start = tracer.clock.now()
+        start = tracer.clock.now() if tracer is not None else 0.0
         try:
             return fn()
         finally:
-            tracer.add_span(name, "2pc", start, start + (conn.elapsed - before),
-                            node=conn.node_name, **attrs)
+            delta = conn.elapsed - before
+            session.wait_events.record("TwoPC", wait_event, delta,
+                                       node=conn.node_name)
+            if tracer is not None:
+                tracer.add_span(name, "2pc", start, start + delta,
+                                node=conn.node_name, **attrs)
 
     # ----------------------------------------------------------- pre-commit
 
@@ -82,7 +85,8 @@ class TransactionCallbacks:
         if len(writers) == 1:
             # Single worker transaction: delegate, no 2PC needed (§3.7.1).
             conn = writers[0]
-            self._timed(tracer, conn, "commit.1pc", lambda: conn.execute("COMMIT"))
+            self._timed(session, tracer, conn, "commit.1pc", "Commit1PC",
+                        lambda: conn.execute("COMMIT"))
             conn.in_txn_block = False
             session.stats["citus_1pc_commits"] += 1
             counters.incr("onepc_commits", node=conn.node_name)
@@ -98,7 +102,7 @@ class TransactionCallbacks:
             gid = make_gid(self.ext.instance.name, session.backend_pid)
             try:
                 self._timed(
-                    tracer, conn, "2pc.prepare",
+                    session, tracer, conn, "2pc.prepare", "Prepare",
                     lambda c=conn, g=gid: c.execute(f"PREPARE TRANSACTION '{g}'"),
                     gid=gid,
                 )
@@ -137,7 +141,8 @@ class TransactionCallbacks:
                     # the recovery daemon.
                     continue
                 self._timed(
-                    tracer, conn, "2pc.commit_prepared",
+                    session, tracer, conn, "2pc.commit_prepared",
+                    "CommitPrepared",
                     lambda c=conn, g=gid: _best_effort(c, f"COMMIT PREPARED '{g}'"),
                     gid=gid,
                 )
@@ -159,7 +164,8 @@ class TransactionCallbacks:
             # commit records, recovery must abort these; do it eagerly.
             for conn, gid in prepared:
                 self._timed(
-                    tracer, conn, "2pc.rollback_prepared",
+                    session, tracer, conn, "2pc.rollback_prepared",
+                    "RollbackPrepared",
                     lambda c=conn, g=gid: _best_effort(c, f"ROLLBACK PREPARED '{g}'"),
                     gid=gid,
                 )
@@ -171,7 +177,7 @@ class TransactionCallbacks:
         if pools is None:
             return
         for conn in pools.txn_connections():
-            self._timed(tracer, conn, "rollback",
+            self._timed(session, tracer, conn, "rollback", "Rollback",
                         lambda c=conn: _best_effort(c, "ROLLBACK"))
             conn.in_txn_block = False
         pools.end_transaction()

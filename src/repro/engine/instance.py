@@ -45,6 +45,8 @@ from .index import BTreeIndex, GinIndex
 from .locks import LockManager, WouldBlock
 from .lru import LRUCache
 from .mvcc import XidManager
+from .stats import stats_for
+from .waitevents import WaitEventStack
 from .wal import WriteAheadLog
 
 _statement_cache = LRUCache(8192)
@@ -107,6 +109,14 @@ class PostgresInstance:
         # Statement tracer (repro.citus.tracing.Tracer); installed by the
         # coordinator's extension, None on plain/worker instances.
         self.tracer = None
+        # Where sessions fold cumulative wait-event time (see
+        # repro.engine.waitevents). Per-instance registry by default;
+        # install_citus repoints every node at the shared cluster registry.
+        # None disables wait accounting entirely.
+        self.wait_registry = stats_for(self)
+        # Per-tenant call/row/time aggregation (repro.citus.introspection
+        # TenantStats); attached by install_citus, None on plain instances.
+        self.tenant_stats = None
 
     # -------------------------------------------------------- connections
 
@@ -137,6 +147,10 @@ class PostgresInstance:
 
     def now(self) -> float:
         return self.clock.now() if self.clock is not None else 0.0
+
+    def wal_flush_seconds(self) -> float:
+        """Modeled cost of one WAL fsync on this instance's disk."""
+        return 1.0 / self.spec.disk_iops if self.spec.disk_iops else 0.0
 
     # --------------------------------------------------------- scheduling
 
@@ -225,6 +239,8 @@ class PostgresInstance:
         """Simulate a crash: all sessions die, volatile state is lost.
         Call :meth:`restart` to run WAL recovery."""
         self.is_up = False
+        for session in self.sessions:
+            session.wait_events.clear()
         self.sessions.clear()
         self._parked.clear()
         for xid in list(self.xids.active):
@@ -279,12 +295,14 @@ class _ParkedStatement:
     def succeed(self, result):
         self.done = True
         self.result = result
+        self.session._finish_activity(result)
         if self.on_done:
             self.on_done(self)
 
     def fail(self, error):
         self.done = True
         self.error = error
+        self.session._finish_activity(None)
         if self.on_done:
             self.on_done(self)
 
@@ -322,6 +340,19 @@ class Session:
         # lock release — is deferred until the count drains back to zero.
         self._open_cursors = 0
         self._cursor_error = None
+        # Live introspection: current wait (see repro.engine.waitevents)
+        # and pg_stat_activity-style state, read by the cluster activity
+        # views. ``state`` stays "active" while a statement is parked.
+        self.wait_events = WaitEventStack(instance)
+        self.state = "idle"
+        self.current_stmt: A.Statement | None = None
+        self.query_start_at = 0.0
+        self.last_query_seconds = 0.0
+        self._activity_depth = 0
+        self._stmt_wait = None
+        # Stamped by the Citus planner hook for tenant/tier attribution.
+        self._citus_tenant = None
+        self._citus_tier = None
 
     # -------------------------------------------------------------- time
 
@@ -494,6 +525,8 @@ class Session:
         xid = self.xid
         if xid is not None:
             self.instance.wal.append(xid, "commit")
+            self.wait_events.record("IO", "WALFlush",
+                                    self.instance.wal_flush_seconds())
             self.instance.xids.finish(xid, committed=True)
             self.instance.locks.release_all(xid)
         self._reset_txn_state()
@@ -508,9 +541,12 @@ class Session:
         self._abort_transaction()
 
     def _abort_transaction(self) -> None:
+        self._end_stmt_wait()
         if self.xid is not None:
             xid = self.xid
             self.instance.wal.append(xid, "abort")
+            self.wait_events.record("IO", "WALFlush",
+                                    self.instance.wal_flush_seconds())
             self.instance.xids.finish(xid, committed=False)
             self.instance.locks.release_all(xid)
         self._reset_txn_state()
@@ -537,6 +573,8 @@ class Session:
             raise InvalidTransactionState(f"transaction identifier {gid!r} is already in use")
         xid = self.xid
         self.instance.wal.append(xid, "prepare", {"gid": gid})
+        self.wait_events.record("IO", "WALFlush",
+                                self.instance.wal_flush_seconds())
         self.instance.xids.mark_prepared(xid)
         self.instance.prepared_txns[gid] = PreparedTransaction(gid, xid, self.instance.name)
         # Locks are deliberately NOT released: PREPARE keeps them.
@@ -550,6 +588,8 @@ class Session:
         if prepared is None:
             raise InvalidTransactionState(f"prepared transaction {gid!r} does not exist")
         self.instance.wal.append(prepared.xid, "commit_prepared", {"gid": gid})
+        self.wait_events.record("IO", "WALFlush",
+                                self.instance.wal_flush_seconds())
         self.instance.xids.resolve_prepared(prepared.xid, committed=True)
         self.instance.locks.release_all(prepared.xid)
         self.instance.pump()
@@ -559,6 +599,8 @@ class Session:
         if prepared is None:
             raise InvalidTransactionState(f"prepared transaction {gid!r} does not exist")
         self.instance.wal.append(prepared.xid, "abort_prepared", {"gid": gid})
+        self.wait_events.record("IO", "WALFlush",
+                                self.instance.wal_flush_seconds())
         self.instance.xids.resolve_prepared(prepared.xid, committed=False)
         self.instance.locks.release_all(prepared.xid)
         self.instance.pump()
@@ -575,11 +617,23 @@ class Session:
 
     def _register_wait(self, block: WouldBlock) -> None:
         xid = self.ensure_xid()
-        self.instance.locks.add_wait(xid, block.holders)
+        self.instance.locks.add_wait(xid, block.holders, key=block.key)
+        if self._stmt_wait is None:
+            kind = block.key[0] if isinstance(block.key, tuple) and block.key else "lock"
+            event = {"table": "relation", "row": "tuple"}.get(kind, kind)
+            self._stmt_wait = self.wait_events.begin("Lock", event,
+                                                     detail=block.key)
 
     def locks_cleared_wait(self) -> None:
+        self._end_stmt_wait()
         if self.xid is not None:
             self.instance.locks.clear_wait(self.xid)
+
+    def _end_stmt_wait(self) -> None:
+        wait = self._stmt_wait
+        if wait is not None:
+            self._stmt_wait = None
+            self.wait_events.finish(wait)
 
     def track_write(self, table: str) -> None:
         self.written_tables.add(table)
@@ -588,21 +642,76 @@ class Session:
     # ----------------------------------------------------------- dispatch
 
     def _dispatch(self, stmt: A.Statement, params, copy_data, park_on_block=False):
+        # Activity tracking: the outermost dispatch of a statement owns the
+        # session's pg_stat_activity-style window. A nested dispatch (UDFs,
+        # commit hooks running SQL on the same session — including while a
+        # *parked* statement still holds the window) must not clobber it.
+        owns_activity = self._activity_depth == 0 and self.state != "active"
+        self._activity_depth += 1
+        if owns_activity:
+            self.current_stmt = stmt
+            self.query_start_at = self.instance.now()
+            self.state = "active"
+            self.wait_events.statement_seconds = 0.0
         # Statement tracing: when a tracer is installed (coordinator with
         # the Citus extension) and either enabled or mid-capture, wrap the
         # dispatch in a statement span. Worker instances carry no tracer,
         # so the hot remote-execution path pays one attribute load.
-        tracer = self.instance.tracer
-        if tracer is None or not (tracer.enabled or tracer.active):
-            return self._dispatch_inner(stmt, params, copy_data, park_on_block)
-        token = tracer.begin_statement(self, stmt)
         try:
-            result = self._dispatch_inner(stmt, params, copy_data, park_on_block)
-        except BaseException as exc:
-            tracer.fail_statement(token, exc)
+            tracer = self.instance.tracer
+            if tracer is None or not (tracer.enabled or tracer.active):
+                result = self._dispatch_inner(stmt, params, copy_data,
+                                              park_on_block)
+            else:
+                token = tracer.begin_statement(self, stmt)
+                try:
+                    result = self._dispatch_inner(stmt, params, copy_data,
+                                                  park_on_block)
+                except BaseException as exc:
+                    tracer.fail_statement(token, exc)
+                    raise
+                tracer.end_statement(token, result)
+        except _Parked:
+            # The statement stays logically active while parked; the parked
+            # handle's succeed/fail finishes the activity window.
+            self._activity_depth -= 1
             raise
-        tracer.end_statement(token, result)
+        except BaseException:
+            self._activity_depth -= 1
+            if owns_activity:
+                self._finish_activity(None)
+            raise
+        self._activity_depth -= 1
+        if owns_activity:
+            self._finish_activity(result)
         return result
+
+    def _finish_activity(self, result=None) -> None:
+        """Close the current statement's activity window: settle any live
+        wait, flip the reported state back to idle, and attribute the
+        statement to its tenant. Idempotent — parked-handle resolution and
+        the dispatch epilogue may both call it."""
+        if self.state != "active":
+            return
+        self._end_stmt_wait()
+        now = self.instance.now()
+        self.last_query_seconds = now - self.query_start_at
+        if self.aborted:
+            self.state = "idle in transaction (aborted)"
+        elif self.in_transaction:
+            self.state = "idle in transaction"
+        else:
+            self.state = "idle"
+        tenant = self._citus_tenant
+        if tenant is not None:
+            self._citus_tenant = None
+            stats = self.instance.tenant_stats
+            if stats is not None:
+                rows = 0
+                if result is not None:
+                    rows = result.rowcount or len(result.rows)
+                stats.record(tenant, rows, self.last_query_seconds,
+                             self.wait_events.statement_seconds)
 
     def _dispatch_inner(self, stmt: A.Statement, params, copy_data,
                         park_on_block=False):
@@ -617,6 +726,11 @@ class Session:
             if remote_handle is None:
                 self._register_wait(block)
             if park_on_block:
+                if remote_handle is not None and self._stmt_wait is None:
+                    # Parked on a worker-side statement, not a local lock.
+                    self._stmt_wait = self.wait_events.begin(
+                        "IPC", "RemoteStatement", detail=block.key
+                    )
                 handle = _ParkedStatement(self, stmt, params, copy_data)
                 handle.remote_handle = remote_handle
                 self.instance.park(handle)

@@ -73,6 +73,9 @@ class LockManager:
         self._row_locks: dict[tuple, int] = {}  # (table, row_id) -> xid
         # xid -> set of xids it waits for (edges polled by the deadlock detector)
         self.wait_edges: dict[int, set[int]] = {}
+        # xid -> the lock key it is waiting on (("table", name) or
+        # ("row", table, row_id)); feeds the citus_lock_waits view.
+        self.wait_keys: dict[int, tuple] = {}
         self._held_tables: dict[int, set[str]] = {}
         self._held_rows: dict[int, set[tuple]] = {}
 
@@ -108,13 +111,17 @@ class LockManager:
 
     # ----------------------------------------------------------- waiting
 
-    def add_wait(self, waiter_xid: int, holder_xids: set[int]) -> None:
+    def add_wait(self, waiter_xid: int, holder_xids: set[int],
+                 key: tuple | None = None) -> None:
         self.wait_edges.setdefault(waiter_xid, set()).update(
             h for h in holder_xids if h != waiter_xid
         )
+        if key is not None:
+            self.wait_keys[waiter_xid] = key
 
     def clear_wait(self, waiter_xid: int) -> None:
         self.wait_edges.pop(waiter_xid, None)
+        self.wait_keys.pop(waiter_xid, None)
 
     def wait_graph_edges(self) -> list[tuple[int, int]]:
         """Flattened (waiter, holder) edges — the payload workers return to

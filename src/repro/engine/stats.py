@@ -201,14 +201,25 @@ class StatsRegistry:
         # Names registered through gauge_max: high-water marks, not live
         # levels, so reset() may safely zero them (live gauges it must not).
         self._peaks: set[str] = set()
+        # Deferred writers (see add_pending_source): drained before any
+        # read or reset so hot paths may batch counter updates locally.
+        self._pending_sources: list = []
 
     # ------------------------------------------------------------ writing
 
     def incr(self, name: str, n: int = 1, node: str | None = None) -> None:
-        self._counters.setdefault(name, Counter())[node or _UNLABELLED] += n
+        # get-then-insert rather than setdefault: setdefault constructs a
+        # throwaway Counter on every call, and incr is on the hot path.
+        per_node = self._counters.get(name)
+        if per_node is None:
+            per_node = self._counters[name] = Counter()
+        per_node[node or _UNLABELLED] += n
 
     def gauge_incr(self, name: str, n: int = 1, node: str | None = None) -> None:
-        self._gauges.setdefault(name, Counter())[node or _UNLABELLED] += n
+        per_node = self._gauges.get(name)
+        if per_node is None:
+            per_node = self._gauges[name] = Counter()
+        per_node[node or _UNLABELLED] += n
 
     def gauge_decr(self, name: str, n: int = 1, node: str | None = None) -> None:
         self.gauge_incr(name, -n, node)
@@ -242,6 +253,21 @@ class StatsRegistry:
         finally:
             self.gauge_decr(name, 1, node)
 
+    def add_pending_source(self, flush) -> None:
+        """Enroll a deferred writer: ``flush(registry)`` will be called
+        (once, then forgotten) before the next read or reset, letting a
+        hot path accumulate counter updates in local state instead of
+        writing through on every event. The writer re-enrolls whenever it
+        has new pending data."""
+        self._pending_sources.append(flush)
+
+    def _drain_pending(self) -> None:
+        sources = self._pending_sources
+        if sources:
+            self._pending_sources = []
+            for flush in sources:
+                flush(self)
+
     def reset(self) -> None:
         """Zero the accumulated statistics.
 
@@ -253,6 +279,7 @@ class StatsRegistry:
         drive it negative and desynchronise admission control from
         reality forever after.
         """
+        self._drain_pending()
         self._counters.clear()
         self._histograms.clear()
         for name in self._peaks:
@@ -276,6 +303,7 @@ class StatsRegistry:
         return dict(self._histograms)
 
     def snapshot(self) -> StatsSnapshot:
+        self._drain_pending()
         return StatsSnapshot(self._counters, self._gauges)
 
     @contextmanager

@@ -10,6 +10,7 @@ bounded set of server sessions, leasing a server session per transaction.
 from __future__ import annotations
 
 from ..engine.stats import stats_for
+from ..engine.waitevents import WaitEventStack
 from ..errors import TooManyConnections
 
 
@@ -19,6 +20,9 @@ class ConnectionPool:
         self.pool_size = pool_size
         self.max_client_conn = max_client_conn
         self.stats = stats_for(instance)
+        # Client:PoolLease wait events; the context-manager push/pop keeps
+        # the in-progress gauge balanced even when a lease attempt fails.
+        self.wait_events = WaitEventStack(instance)
         self._node = getattr(instance, "name", None)
         self._idle: list = []
         self._lease_count = 0
@@ -43,6 +47,10 @@ class ConnectionPool:
         return None
 
     def _acquire(self):
+        with self.wait_events.waiting("Client", "PoolLease"):
+            return self._lease_session()
+
+    def _lease_session(self):
         tracer = self._tracer()
         if self._idle:
             session = self._idle.pop()
