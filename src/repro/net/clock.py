@@ -25,3 +25,15 @@ class SimClock:
 
     def advance_ms(self, millis: float) -> float:
         return self.advance(millis / 1000.0)
+
+    def advance_to(self, when: float) -> float:
+        """Move the clock forward to an absolute virtual time.
+
+        A no-op when ``when`` is already in the past: event-driven
+        schedulers (the traffic harness) pop wake-ups whose scheduled
+        time may have been overtaken by service time charged while other
+        actors executed, and those fire "now" rather than rewinding.
+        """
+        if when > self._now:
+            self._now = float(when)
+        return self._now

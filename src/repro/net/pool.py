@@ -15,11 +15,15 @@ from ..errors import TooManyConnections
 
 
 class ConnectionPool:
-    def __init__(self, instance, pool_size: int = 20, max_client_conn: int = 1000):
+    def __init__(self, instance, pool_size: int = 20, max_client_conn: int = 1000,
+                 stats_holder=None):
         self.instance = instance
         self.pool_size = pool_size
         self.max_client_conn = max_client_conn
-        self.stats = stats_for(instance)
+        # Counters default to the instance's private registry; passing the
+        # cluster as stats_holder folds pool accounting into the shared
+        # cluster-wide registry (citus_stat_counters, metrics snapshot).
+        self.stats = stats_for(stats_holder if stats_holder is not None else instance)
         # Client:PoolLease wait events; the context-manager push/pop keeps
         # the in-progress gauge balanced even when a lease attempt fails.
         self.wait_events = WaitEventStack(instance)
@@ -27,16 +31,26 @@ class ConnectionPool:
         self._idle: list = []
         self._lease_count = 0
         self._client_count = 0
-        self.waits = 0  # times a lease had to evict/queue
+        #: Lease attempts that found every server session busy and raised
+        #: ``TooManyConnections`` (mirrors the ``pool_exhausted`` counter;
+        #: this pool rejects rather than queueing, so the client retries).
+        self.waits = 0
         self.peak_leases = 0
+        self.peak_clients = 0
 
     def client(self) -> "PooledClient":
         if self._client_count >= self.max_client_conn:
             self.stats.incr("pool_client_rejections", node=self._node)
             raise TooManyConnections("pgbouncer: no more client connections allowed")
         self._client_count += 1
+        self.peak_clients = max(self.peak_clients, self._client_count)
         self.stats.gauge_incr("pool_clients", node=self._node)
         return PooledClient(self)
+
+    @property
+    def client_count(self) -> int:
+        """Currently open client handles (high-water mark in ``peak_clients``)."""
+        return self._client_count
 
     def _tracer(self):
         """The instance's tracer while it is collecting, else None (the
@@ -102,13 +116,16 @@ class PooledClient:
     def __init__(self, pool: ConnectionPool):
         self.pool = pool
         self._leased = None
+        self.closed = False
 
     def execute(self, sql: str, params=None):
+        if self.closed:
+            raise TooManyConnections(
+                "pgbouncer: client handle is closed"
+            )
         session = self._leased
-        transient = False
         if session is None:
             session = self.pool._acquire()
-            transient = True
         try:
             result = session.execute(sql, params)
         except Exception:
@@ -125,6 +142,12 @@ class PooledClient:
         return result
 
     def close(self) -> None:
+        """Idempotent: a double close must not underflow ``_client_count``
+        or the ``pool_clients`` gauge (which would permanently inflate the
+        pool's client capacity)."""
+        if self.closed:
+            return
+        self.closed = True
         if self._leased is not None:
             self.pool._release(self._leased)
             self._leased = None

@@ -1,5 +1,6 @@
-"""Benchmark workloads: TPC-C, YCSB, TPC-H, GitHub archive, pgbench."""
+"""Benchmark workloads: TPC-C, YCSB, TPC-H, GitHub archive, pgbench, and
+the closed-loop multi-tenant traffic harness."""
 
-from . import gharchive, pgbench, tpcc, tpch, ycsb
+from . import gharchive, pgbench, tpcc, tpch, traffic, ycsb
 
-__all__ = ["tpcc", "ycsb", "tpch", "gharchive", "pgbench"]
+__all__ = ["tpcc", "ycsb", "tpch", "gharchive", "pgbench", "traffic"]

@@ -1,0 +1,39 @@
+"""Closed-loop multi-tenant traffic harness (§4 workload shapes).
+
+The paper evaluates Citus under production-shaped load: multi-tenant SaaS
+(TPC-C, §4.1), real-time analytics (gharchive ingest, §4.2), and
+high-performance CRUD (YCSB, §4.3). This package drives all three at once
+the way millions of users would: thousands of simulated concurrent
+sessions, each a closed-loop actor with a seeded think-time distribution,
+a Zipf-skewed tenant identity, connection churn through the pgbouncer
+pools, and a per-tenant workload mix — interleaved in virtual-time order
+over the shared :class:`~repro.net.clock.SimClock` so every run is
+reproducible byte-for-byte from a seed.
+
+At the end of a run the harness reads p50/p95/p99 per fingerprint from
+``citus_stat_statements``, pool and wait-event counters, and the 2PC
+counters, and evaluates a declarative SLO spec into a machine-readable
+report (the ``bench_traffic`` CI gate).
+"""
+
+from .generators import ExponentialThink, FixedThink, ZipfGenerator, make_think
+from .harness import TrafficConfig, TrafficHarness, run_traffic
+from .mixes import MIXES, WorkloadMix
+from .slo import CounterRule, LatencyRule, RatioRule, default_slo_spec, evaluate_slo
+
+__all__ = [
+    "ZipfGenerator",
+    "ExponentialThink",
+    "FixedThink",
+    "make_think",
+    "TrafficConfig",
+    "TrafficHarness",
+    "run_traffic",
+    "WorkloadMix",
+    "MIXES",
+    "LatencyRule",
+    "CounterRule",
+    "RatioRule",
+    "evaluate_slo",
+    "default_slo_spec",
+]

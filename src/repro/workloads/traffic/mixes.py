@@ -1,0 +1,187 @@
+"""Workload mix adapters: what one tenant's transaction looks like.
+
+Each :class:`WorkloadMix` bridges an existing workload module (§4's YCSB,
+TPC-C, gharchive) to the traffic harness: ``setup`` creates and loads the
+schema once per run, ``transaction`` executes one closed-loop transaction
+for a given tenant through a pgbouncer :class:`~repro.net.pool.PooledClient`.
+
+Tenant keyspaces:
+
+- **YCSB A/B/C** — tenant *t* owns the contiguous key slice
+  ``[t * keys_per_tenant, (t+1) * keys_per_tenant)``; single-key reads and
+  updates ride the fast-path planner.
+- **TPC-C** — tenant *t* maps to warehouse ``t % warehouses + 1``;
+  PAYMENT-style multi-statement transactions cross warehouses ~7% of the
+  time (the paper's multi-node 2PC fraction), plus ORDER STATUS and STOCK
+  LEVEL reads.
+- **gharchive** — append-only event ingest (Fig. 7a) with occasional
+  read-back of a recently written event id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from .. import gharchive, tpcc, ycsb
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    name: str
+    #: setup(session, cfg) — create schema + load data, once per run.
+    setup: Callable
+    #: transaction(client, rng, tenant, cfg) — one closed-loop transaction.
+    transaction: Callable
+
+
+# --------------------------------------------------------------- YCSB A/B/C
+
+
+def _ycsb_setup(session, cfg) -> None:
+    ycsb.create_schema(session, distributed=True)
+    records = cfg.tenants * cfg.ycsb_keys_per_tenant
+    ycsb.load_data(session, ycsb.YcsbConfig(records=records, seed=cfg.seed))
+
+
+def _ycsb_transaction(read_fraction: float):
+    def run(client, rng: random.Random, tenant: int, cfg) -> None:
+        local = rng.randrange(cfg.ycsb_keys_per_tenant)
+        key = ycsb.key_name(tenant * cfg.ycsb_keys_per_tenant + local)
+        if rng.random() < read_fraction:
+            client.execute("SELECT * FROM usertable WHERE ycsb_key = $1", [key])
+        else:
+            field = rng.choice(ycsb.FIELDS)
+            value = "".join(
+                rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(20)
+            )
+            client.execute(
+                f"UPDATE usertable SET {field} = $1 WHERE ycsb_key = $2",
+                [value, key],
+            )
+
+    return run
+
+
+# -------------------------------------------------------------------- TPC-C
+
+
+def _tpcc_setup(session, cfg) -> None:
+    tpcc.create_schema(session, distributed=True)
+    tpcc.load_data(session, tpcc.TpccConfig(
+        warehouses=cfg.tpcc_warehouses, items=cfg.tpcc_items, seed=cfg.seed,
+    ))
+
+
+def _tpcc_warehouse(tenant: int, cfg) -> int:
+    return tenant % cfg.tpcc_warehouses + 1
+
+
+def _tpcc_payment(client, rng: random.Random, tenant: int, cfg) -> None:
+    w = _tpcc_warehouse(tenant, cfg)
+    d = rng.randint(1, tpcc.DISTRICTS_PER_WAREHOUSE)
+    c = rng.randint(1, tpcc.CUSTOMERS_PER_DISTRICT)
+    c_w = w
+    if rng.random() < cfg.cross_warehouse_fraction and cfg.tpcc_warehouses > 1:
+        while c_w == w:
+            c_w = rng.randint(1, cfg.tpcc_warehouses)
+    amount = round(rng.uniform(1, 500), 2)
+    client.execute("BEGIN")
+    client.execute(
+        "UPDATE warehouse SET w_ytd = w_ytd + $1 WHERE w_id = $2", [amount, w]
+    )
+    client.execute(
+        "UPDATE district SET d_ytd = d_ytd + $1 WHERE d_w_id = $2 AND d_id = $3",
+        [amount, w, d],
+    )
+    client.execute(
+        "UPDATE customer SET c_balance = c_balance - $1,"
+        " c_ytd_payment = c_ytd_payment + $1"
+        " WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4",
+        [amount, c_w, d, c],
+    )
+    client.execute("COMMIT")
+
+
+def _tpcc_order_status(client, rng: random.Random, tenant: int, cfg) -> None:
+    w = _tpcc_warehouse(tenant, cfg)
+    d = rng.randint(1, tpcc.DISTRICTS_PER_WAREHOUSE)
+    c = rng.randint(1, tpcc.CUSTOMERS_PER_DISTRICT)
+    client.execute(
+        "SELECT o_id, o_entry_d, o_ol_cnt FROM orders"
+        " WHERE o_w_id = $1 AND o_d_id = $2 AND o_c_id = $3"
+        " ORDER BY o_id DESC LIMIT 1",
+        [w, d, c],
+    )
+
+
+def _tpcc_stock_level(client, rng: random.Random, tenant: int, cfg) -> None:
+    w = _tpcc_warehouse(tenant, cfg)
+    client.execute(
+        "SELECT count(*) FROM stock WHERE s_w_id = $1 AND s_quantity < $2",
+        [w, 20],
+    )
+
+
+def _tpcc_transaction(client, rng: random.Random, tenant: int, cfg) -> None:
+    roll = rng.random()
+    if roll < 0.60:
+        _tpcc_payment(client, rng, tenant, cfg)
+    elif roll < 0.85:
+        _tpcc_order_status(client, rng, tenant, cfg)
+    else:
+        _tpcc_stock_level(client, rng, tenant, cfg)
+
+
+# ---------------------------------------------------------------- gharchive
+
+
+def _gharchive_setup(session, cfg) -> None:
+    # Ingest-shaped: no trigram index or rollup table — bench_fig7 covers
+    # the analytics side; here the events table takes single-row inserts.
+    gharchive.create_schema(
+        session, distributed=True, with_index=False, with_rollup=False
+    )
+
+
+def _gharchive_transaction(client, rng: random.Random, tenant: int, cfg) -> None:
+    event_id = hashlib.md5(
+        f"{cfg.seed}-{tenant}-{rng.getrandbits(64)}".encode()
+    ).hexdigest()
+    if rng.random() < 0.9:
+        day = rng.randrange(7) + 1
+        data = {
+            "type": "PushEvent",
+            "created_at": f"2020-01-{day:02d}T{rng.randrange(24):02d}:00:00",
+            "repo": f"org/repo-{tenant}",
+            "payload": {"commits": [{"sha": event_id[:10], "message": "update"}]},
+        }
+        client.execute(
+            "INSERT INTO github_events (event_id, data) VALUES ($1, $2)",
+            [event_id, data],
+        )
+    else:
+        client.execute(
+            "SELECT data FROM github_events WHERE event_id = $1", [event_id]
+        )
+
+
+MIXES: dict[str, WorkloadMix] = {
+    "ycsb_a": WorkloadMix("ycsb_a", _ycsb_setup, _ycsb_transaction(0.5)),
+    "ycsb_b": WorkloadMix("ycsb_b", _ycsb_setup, _ycsb_transaction(0.95)),
+    "ycsb_c": WorkloadMix("ycsb_c", _ycsb_setup, _ycsb_transaction(1.0)),
+    "tpcc": WorkloadMix("tpcc", _tpcc_setup, _tpcc_transaction),
+    "gharchive": WorkloadMix("gharchive", _gharchive_setup, _gharchive_transaction),
+}
+
+#: Setup functions shared by several mixes (all three YCSB variants use one
+#: table) — the harness runs each distinct setup exactly once.
+SETUP_GROUPS = {
+    "ycsb_a": "ycsb",
+    "ycsb_b": "ycsb",
+    "ycsb_c": "ycsb",
+    "tpcc": "tpcc",
+    "gharchive": "gharchive",
+}

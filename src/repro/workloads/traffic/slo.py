@@ -1,0 +1,165 @@
+"""Declarative SLO specs evaluated against a traffic run.
+
+A spec is a list of rules; evaluation reads the run's
+``citus_stat_statements`` rows (per-fingerprint p50/p95/p99 in simulated
+milliseconds) and the run-scoped cluster counter delta, and produces a
+machine-readable report: every rule with its observed value, threshold,
+and verdict. The report is pure virtual-time data, so two runs from the
+same seed serialize byte-for-byte identically — which is itself one of
+the ``bench_traffic`` CI assertions.
+
+Rule kinds:
+
+- :class:`LatencyRule` — bound a percentile of statement latency over the
+  fingerprints matching a tier / query-substring filter (the bound applies
+  to the *worst* matching fingerprint, calls-weighting would let one hot
+  cheap query mask a slow one).
+- :class:`CounterRule` — bound a cluster counter delta (e.g.
+  ``pool_client_rejections == 0``).
+- :class:`RatioRule` — bound a ratio of counter deltas (e.g. the 2PC rate
+  ``twopc_transactions / (onepc_commits + twopc_transactions)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# citus_stat_statements row layout (see StatementStats.rows()).
+_COL_QUERY, _COL_TENANT, _COL_TIER, _COL_CALLS = 0, 1, 2, 3
+_COL_P50, _COL_P95, _COL_P99 = 7, 8, 9
+_PCT_COL = {50: _COL_P50, 95: _COL_P95, 99: _COL_P99}
+
+
+@dataclass(frozen=True)
+class LatencyRule:
+    name: str
+    percentile: int  # 50 | 95 | 99
+    max_ms: float  # simulated milliseconds
+    tier: str | None = None  # e.g. "fast_path", "router", "pushdown"
+    tiers: tuple = ()  # alternative: several tiers
+    query_substring: str | None = None
+    min_calls: int = 1
+    #: A rule that matches no fingerprint fails by default — a filter that
+    #: silently matches nothing would turn the gate into a no-op.
+    require_match: bool = True
+
+    def _matches(self, row) -> bool:
+        if row[_COL_CALLS] < self.min_calls:
+            return False
+        wanted = set(self.tiers) | ({self.tier} if self.tier else set())
+        if wanted and row[_COL_TIER] not in wanted:
+            return False
+        if self.query_substring is not None:
+            if self.query_substring.lower() not in (row[_COL_QUERY] or "").lower():
+                return False
+        return True
+
+    def evaluate(self, stat_rows, counters) -> dict:
+        if self.percentile not in _PCT_COL:
+            raise ValueError(f"unsupported percentile {self.percentile}")
+        col = _PCT_COL[self.percentile]
+        worst, worst_query, matched = None, None, 0
+        for row in stat_rows:
+            if not self._matches(row):
+                continue
+            matched += 1
+            if worst is None or row[col] > worst:
+                worst, worst_query = row[col], row[_COL_QUERY]
+        if worst is None:
+            return {
+                "rule": self.name,
+                "kind": "latency",
+                "percentile": self.percentile,
+                "observed_ms": None,
+                "threshold_ms": self.max_ms,
+                "matched_fingerprints": 0,
+                "passed": not self.require_match,
+                "detail": "no matching statements",
+            }
+        return {
+            "rule": self.name,
+            "kind": "latency",
+            "percentile": self.percentile,
+            "observed_ms": round(worst, 6),
+            "threshold_ms": self.max_ms,
+            "matched_fingerprints": matched,
+            "worst_query": worst_query,
+            "passed": worst <= self.max_ms,
+        }
+
+
+@dataclass(frozen=True)
+class CounterRule:
+    name: str
+    counter: str
+    max_value: float = 0.0
+
+    def evaluate(self, stat_rows, counters) -> dict:
+        observed = counters.get(self.counter, 0)
+        return {
+            "rule": self.name,
+            "kind": "counter",
+            "counter": self.counter,
+            "observed": observed,
+            "threshold": self.max_value,
+            "passed": observed <= self.max_value,
+        }
+
+
+@dataclass(frozen=True)
+class RatioRule:
+    name: str
+    numerator: str
+    denominators: tuple  # counter names summed into the denominator
+    max_ratio: float
+
+    def evaluate(self, stat_rows, counters) -> dict:
+        num = counters.get(self.numerator, 0)
+        den = sum(counters.get(c, 0) for c in self.denominators)
+        ratio = (num / den) if den else 0.0
+        return {
+            "rule": self.name,
+            "kind": "ratio",
+            "numerator": self.numerator,
+            "denominator": den,
+            "observed_ratio": round(ratio, 6),
+            "threshold_ratio": self.max_ratio,
+            "passed": ratio <= self.max_ratio,
+        }
+
+
+def evaluate_slo(rules, stat_rows, counters) -> dict:
+    """Evaluate every rule; the report passes only if all rules pass."""
+    results = [rule.evaluate(stat_rows, counters) for rule in rules]
+    return {
+        "passed": all(r["passed"] for r in results),
+        "rules": results,
+    }
+
+
+def default_slo_spec(router_read_p99_ms: float = 50.0,
+                     crud_write_p99_ms: float = 80.0,
+                     multi_statement_p95_ms: float = 150.0,
+                     max_twopc_rate: float = 0.25):
+    """The stock gate used by ``bench_traffic``: tail latency on the
+    single-tenant fast path, bounded 2PC rate, and a healthy pool (no
+    client rejections). Thresholds are simulated milliseconds."""
+    return [
+        LatencyRule(
+            "router reads p99", percentile=99, max_ms=router_read_p99_ms,
+            tiers=("fast_path", "router"), query_substring="SELECT",
+        ),
+        LatencyRule(
+            "router writes p99", percentile=99, max_ms=crud_write_p99_ms,
+            tiers=("fast_path", "router", "insert_values"),
+            query_substring="UPDATE",
+        ),
+        LatencyRule(
+            "all statements p95", percentile=95, max_ms=multi_statement_p95_ms,
+        ),
+        CounterRule("no pool client rejections", "pool_client_rejections", 0),
+        RatioRule(
+            "2PC rate", "twopc_transactions",
+            ("onepc_commits", "twopc_transactions"), max_twopc_rate,
+        ),
+    ]

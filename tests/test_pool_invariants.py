@@ -1,0 +1,157 @@
+"""PgBouncer pool invariants: close idempotence, exhaustion-wait
+semantics, and a seeded property-style stress test of gauge balance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PostgresInstance
+from repro.engine.stats import stats_for
+from repro.errors import CatalogError, TooManyConnections
+from repro.net.pool import ConnectionPool
+
+
+@pytest.fixture
+def pool_instance():
+    instance = PostgresInstance("pg_pool_inv")
+    instance.connect("setup").execute("CREATE TABLE t (a int PRIMARY KEY, b int)")
+    return instance
+
+
+# ----------------------------------------------------------- close semantics
+
+
+class TestCloseIdempotence:
+    def test_double_close_does_not_underflow(self, pool_instance):
+        pool = ConnectionPool(pool_instance, pool_size=2, max_client_conn=3)
+        client = pool.client()
+        client.close()
+        client.close()  # second close must be a no-op
+        assert pool.client_count == 0
+        assert stats_for(pool_instance).snapshot().gauge("pool_clients") == 0
+
+    def test_double_close_does_not_inflate_capacity(self, pool_instance):
+        """Regression: a double close used to underflow ``_client_count``,
+        permanently raising the client cap by one per extra close."""
+        pool = ConnectionPool(pool_instance, pool_size=2, max_client_conn=2)
+        client = pool.client()
+        client.close()
+        client.close()
+        pool.client()
+        pool.client()
+        with pytest.raises(TooManyConnections):
+            pool.client()
+
+    def test_closed_client_rejects_execute(self, pool_instance):
+        pool = ConnectionPool(pool_instance, pool_size=2)
+        client = pool.client()
+        client.close()
+        with pytest.raises(TooManyConnections):
+            client.execute("SELECT 1")
+
+    def test_close_releases_held_lease(self, pool_instance):
+        pool = ConnectionPool(pool_instance, pool_size=2)
+        client = pool.client()
+        client.execute("BEGIN")
+        client.execute("INSERT INTO t VALUES (1, 1)")
+        assert client._leased is not None
+        client.close()
+        # The open transaction rolled back and the session went back idle.
+        assert client._leased is None
+        assert pool._lease_count == 0
+        assert len(pool._idle) == 1
+
+
+# ------------------------------------------------------------ waits counter
+
+
+class TestWaitsSemantics:
+    def test_waits_counts_exhaustion_raises(self, pool_instance):
+        """``waits`` counts lease attempts that found the pool exhausted
+        and raised TooManyConnections — it mirrors the ``pool_exhausted``
+        counter exactly (this pool rejects, it does not queue)."""
+        pool = ConnectionPool(pool_instance, pool_size=0)
+        for attempt in range(3):
+            with pytest.raises(TooManyConnections):
+                pool._acquire()
+        assert pool.waits == 3
+        assert stats_for(pool_instance).snapshot().value("pool_exhausted") == 3
+
+    def test_successful_lease_does_not_bump_waits(self, pool_instance):
+        pool = ConnectionPool(pool_instance, pool_size=1)
+        client = pool.client()
+        client.execute("SELECT * FROM t")
+        client.close()
+        assert pool.waits == 0
+
+
+# --------------------------------------------------- property-style stress
+
+
+class TestPoolInvariantStress:
+    """Random acquire/execute/fail/release/close sequences must keep the
+    pool's accounting balanced: gauges return to zero, the idle list never
+    exceeds pool_size, and no server session is ever leased twice."""
+
+    OPS = ("open", "execute", "begin", "commit", "rollback", "fail",
+           "close", "double_close")
+
+    @pytest.mark.parametrize("seed", [11, 23, 47, 91])
+    def test_random_sequences_keep_gauges_balanced(self, pool_instance, seed):
+        rng = random.Random(seed)
+        pool = ConnectionPool(pool_instance, pool_size=3, max_client_conn=12)
+        registry = stats_for(pool_instance)
+        before = registry.snapshot()
+        clients: list = []
+        next_key = [100]
+
+        def leased_sessions():
+            return [c._leased for c in clients if c._leased is not None]
+
+        for step in range(400):
+            op = rng.choice(self.OPS)
+            try:
+                if op == "open" or not clients:
+                    clients.append(pool.client())
+                    continue
+                client = rng.choice(clients)
+                if op == "execute":
+                    next_key[0] += 1
+                    client.execute(
+                        "INSERT INTO t VALUES ($1, $2)", [next_key[0], step]
+                    )
+                elif op == "begin":
+                    client.execute("BEGIN")
+                elif op == "commit":
+                    client.execute("COMMIT")
+                elif op == "rollback":
+                    client.execute("ROLLBACK")
+                elif op == "fail":
+                    with pytest.raises(CatalogError):
+                        client.execute("SELECT * FROM no_such_table")
+                elif op == "close":
+                    client.close()
+                    clients.remove(client)
+                elif op == "double_close":
+                    client.close()
+                    client.close()
+                    clients.remove(client)
+            except TooManyConnections:
+                pass  # rejection/exhaustion is a legal outcome, not a leak
+            # Invariants that must hold after *every* step:
+            sessions = leased_sessions()
+            assert len(sessions) == len(set(map(id, sessions))), \
+                "a server session is leased to two clients at once"
+            assert len(pool._idle) <= pool.pool_size
+            assert pool._lease_count == len(sessions)
+
+        for client in clients:
+            client.close()
+        delta = registry.snapshot().diff(before)
+        assert delta.gauge("pool_leases") == 0
+        assert delta.gauge("pool_clients") == 0
+        assert pool.client_count == 0
+        assert pool._lease_count == 0
+        assert len(pool._idle) <= pool.pool_size
