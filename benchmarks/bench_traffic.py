@@ -32,6 +32,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import make_cluster  # noqa: E402
 from repro.workloads.traffic import (  # noqa: E402
+    CounterRule,
     TrafficConfig,
     default_slo_spec,
     run_traffic,
@@ -40,6 +41,20 @@ from repro.workloads.traffic import (  # noqa: E402
 from common import write_report  # noqa: E402
 
 SESSIONS = 2000  # acceptance floor: ≥ 2,000 concurrent simulated sessions
+SHARD_COUNT = 16
+
+
+def slo_spec(flush_threshold: int):
+    """The stock SLOs plus the streaming-write guard on the gharchive
+    ingest: coordinator COPY buffering must stay bounded by the per-shard
+    channel budget (flush_threshold × shards), so a future PR can't
+    silently re-materialize the write path."""
+    return default_slo_spec() + [
+        CounterRule(
+            "gharchive copy channels bounded", "copy_channel_peak_rows",
+            flush_threshold * SHARD_COUNT,
+        ),
+    ]
 
 
 def traffic_config(quick: bool) -> TrafficConfig:
@@ -61,8 +76,9 @@ def traffic_config(quick: bool) -> TrafficConfig:
 
 
 def one_run(config: TrafficConfig) -> dict:
-    citus = make_cluster(workers=4, shard_count=16, max_connections=4000)
-    return run_traffic(citus, config, default_slo_spec())
+    citus = make_cluster(workers=4, shard_count=SHARD_COUNT, max_connections=4000)
+    threshold = citus.coordinator_ext.config.copy_flush_threshold
+    return run_traffic(citus, config, slo_spec(threshold))
 
 
 def summarize(report: dict) -> str:

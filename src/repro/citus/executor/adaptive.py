@@ -45,6 +45,11 @@ class ExecutionReport:
     rows_buffered_peak: int = 0
     early_terminations: int = 0
     tasks_skipped: int = 0
+    # Streaming write plane telemetry (zero on the materializing path).
+    copy_flushes: int = 0
+    copy_rows_routed: int = 0
+    copy_bytes_streamed: int = 0
+    copy_channel_peak_rows: int = 0
 
 
 class AdaptiveExecutor:
@@ -313,6 +318,14 @@ class AdaptiveExecutor:
             return None
         return StreamingExecution(self, session, tasks,
                                   batch_size=config.stream_batch_size)
+
+    def open_copy_channels(self, session, expected_by_node=None):
+        """Write-side streaming entry point: a :class:`CopyChannelExecution`
+        that accepts incremental per-shard COPY flushes. The caller (the
+        ShardCopyRouter) decides *whether* streaming writes apply; this
+        only builds the execution."""
+        return CopyChannelExecution(self, session,
+                                    expected_by_node=expected_by_node)
 
 
 class TaskStream:
@@ -687,6 +700,284 @@ class StreamingExecution:
             for conn in self.pools.all_connections():
                 if not conn.in_txn_block:
                     conn.accessed_groups.clear()
+        return report
+
+
+class CopyChannelExecution:
+    """One distributed write statement executed as per-shard COPY channels.
+
+    The write-side counterpart of :class:`StreamingExecution`: the
+    ShardCopyRouter hands over bounded row batches ("flushes") as its
+    channels fill, instead of one materialized batch per shard at the end.
+    Every flush runs inside a worker transaction block registered in
+    ``session.remote_txns`` — a mid-stream error aborts through the normal
+    statement-failure path and rolls back every shard, and the statement's
+    commit settles through the 1PC/2PC callbacks exactly as before.
+
+    Connection affinity pins each shard group to the connection that took
+    its first flush, so rows arrive at a shard in routing order and later
+    statements in the same transaction see the uncommitted COPY. The
+    timeline is reconstructed as if channels flushed in parallel: each
+    flush charges simulated busy time to its connection. Because the
+    flushes overlap the statement's read side (the distributed SELECT or
+    client COPY stream that feeds the router), :meth:`finish` advances the
+    clock only by the write timeline's *non-overlapped* remainder — the
+    statement's end-to-end time is max(read, write), not read + write,
+    which is exactly the pipelining win of §3.8.
+    """
+
+    def __init__(self, executor: AdaptiveExecutor, session,
+                 expected_by_node=None):
+        self.executor = executor
+        self.ext = executor.ext
+        self.session = session
+        self.pools = SessionPools.for_session(session, self.ext)
+        self.counters = self.ext.stat_counters
+        self.report = ExecutionReport()
+        self._node_state: dict[str, dict] = {}
+        # Slow-start sizing hint: how many channels may still open per node
+        # (the count of destination shards placed there).
+        self._unopened: dict[str, int] = dict(expected_by_node or {})
+        self._channels: dict = {}  # channel key -> per-channel state
+        self._finished = False
+        # Clock position when routing began: everything the read side
+        # advances between now and finish() overlaps the write timeline.
+        self._start_clock = (self.ext.cluster.clock.now()
+                             if self.ext.cluster is not None else 0.0)
+        tracer = self.ext.tracer
+        self.tracer = tracer if (tracer is not None and tracer.active) else None
+        self.trace_base = (self.ext.cluster.clock.now()
+                           if self.tracer is not None else 0.0)
+        self._trace_connects: list[tuple] = []
+        self.counters.incr("executor_statements")
+        self.counters.gauge_incr("executor_statements_in_flight")
+
+    # --------------------------------------------------- router-side hooks
+
+    def note_buffered(self, n: int) -> None:
+        """Record a buffered-row high-water mark from the router (its
+        total across all channels) — the write-side bounded-buffer
+        acceptance metric."""
+        if n > self.report.copy_channel_peak_rows:
+            self.report.copy_channel_peak_rows = n
+
+    # ------------------------------------------------- per-node timeline
+
+    def _node(self, node: str) -> dict:
+        state = self._node_state.get(node)
+        if state is None:
+            conns = list(self.pools.idle_connections(node))
+            state = {
+                "conns": conns,
+                "busy": {id(c): 0.0 for c in conns},
+                "preexisting": {id(c) for c in conns},
+                "used": set(),
+            }
+            self._node_state[node] = state
+        return state
+
+    def _open_connection(self, node: str, state: dict, now: float):
+        if not self.ext.try_reserve_shared_slot(node, force=not state["conns"]):
+            return None
+        try:
+            conn = self.pools.open_connection(node)
+        except NodeUnavailable:
+            self.ext.release_shared_slot(node)
+            raise
+        setup = self.ext.cluster.network.connection_setup_cost()
+        state["conns"].append(conn)
+        state["busy"][id(conn)] = now + setup
+        self.report.connections_opened += 1
+        self.counters.incr("connections_opened", node=node)
+        self.session.wait_events.record("Net", "RemoteConnect", setup, node=node)
+        if self.tracer is not None:
+            self._trace_connects.append((node, now, state["busy"][id(conn)]))
+        return conn
+
+    def _pick_connection(self, node: str, state: dict):
+        conns = state["conns"]
+        busy = state["busy"]
+        if not conns:
+            conn = self._open_connection(node, state, 0.0)
+            if conn is None:
+                raise NodeUnavailable(f"no connection available to {node}")
+            return conn
+        conn = min(conns, key=lambda c: busy[id(c)])
+        now = busy[id(conn)]
+        # Slow start, as on the read side: the pool target grows by one per
+        # interval of simulated time (§3.6.1).
+        allowance = 1 + int(now / self.executor.slow_start_interval)
+        in_use = sum(1 for c in conns if busy[id(c)] > now)
+        target = min(allowance, self._unopened.get(node, 0) + 1 + in_use)
+        if len(conns) < target:
+            new_conn = self._open_connection(node, state, now)
+            if new_conn is not None:
+                conn = new_conn
+        return conn
+
+    # ------------------------------------------------------------ channels
+
+    def _channel(self, key, index, node, shard_group) -> dict:
+        channel = self._channels.get(key)
+        if channel is None:
+            state = self._node(node)
+            self._unopened[node] = max(0, self._unopened.get(node, 1) - 1)
+            conn = None
+            if shard_group is not None:
+                # Transaction affinity: the connection that already touched
+                # this co-located shard group must take every flush.
+                conn = self.pools.connection_for_group(node, shard_group)
+                if conn is not None and id(conn) not in state["busy"]:
+                    state["conns"].append(conn)
+                    state["busy"][id(conn)] = 0.0
+                    state["preexisting"].add(id(conn))
+            if conn is None:
+                conn = self._pick_connection(node, state)
+            if shard_group is not None:
+                conn.accessed_groups.add(shard_group)
+            channel = {
+                "index": index, "node": node, "group": shard_group,
+                "conn": conn, "rows": 0, "bytes": 0, "flushes": 0,
+                "events": [] if self.tracer is not None else None,
+                "done": False,
+            }
+            self._channels[key] = channel
+            state["used"].add(id(conn))
+            self.counters.gauge_incr("tasks_in_flight", node=node)
+        return channel
+
+    def flush(self, key, index, node, shard_group, shard_name, columns,
+              rows) -> None:
+        """Ship one bounded row batch to its destination shard, inside the
+        write transaction."""
+        channel = self._channel(key, index, node, shard_group)
+        conn = channel["conn"]
+        # Every flush is transactional: a later error must be able to roll
+        # back rows that already crossed the wire.
+        conn.begin_if_needed()
+        self.session.remote_txns[id(conn)] = conn
+        conn.did_write = True
+        conn.session.ensure_xid()
+        from ..txn.deadlock import assign_distributed_txn_ids
+
+        assign_distributed_txn_ids(self.ext, self.session)
+        state = self._node(node)
+        busy = state["busy"]
+        start = busy.get(id(conn), 0.0)
+        before = conn.elapsed
+        bytes_before = conn.bytes_transferred
+        try:
+            # The first flush opens the shard's COPY stream (a round trip);
+            # later flushes ride it asynchronously at bandwidth cost only.
+            conn.copy_rows(shard_name, rows, columns,
+                           pipelined=channel["flushes"] > 0)
+        except Exception:
+            self._channel_finished(channel, failed=True)
+            raise
+        nbytes = conn.bytes_transferred - bytes_before
+        cost = (conn.elapsed - before) + len(rows) * self.ext.config.per_row_cpu_cost
+        busy[id(conn)] = start + cost
+        self.session.wait_events.record("Net", "RemoteCopy", cost, node=node)
+        channel["rows"] += len(rows)
+        channel["bytes"] += nbytes
+        channel["flushes"] += 1
+        if channel["events"] is not None:
+            channel["events"].append((start, start + cost, len(rows), nbytes))
+        report = self.report
+        report.copy_flushes += 1
+        report.copy_rows_routed += len(rows)
+        report.copy_bytes_streamed += nbytes
+        self.counters.incr("copy_flushes", node=node)
+        self.counters.incr("copy_rows_routed", len(rows), node=node)
+        self.counters.incr("copy_bytes_streamed", nbytes, node=node)
+
+    def _channel_finished(self, channel: dict, failed: bool = False) -> None:
+        if channel["done"]:
+            return
+        channel["done"] = True
+        node = channel["node"]
+        self.counters.gauge_decr("tasks_in_flight", node=node)
+        if failed:
+            self.counters.incr("tasks_failed", node=node)
+        else:
+            self.counters.incr("tasks_executed", node=node)
+
+    def _emit_channel_spans(self) -> None:
+        """One ``task`` span per destination channel (matched back to the
+        plan's per-shard task list by ``index``) with nested per-flush
+        children, plus ``connect`` spans."""
+        tracer = self.tracer
+        base = self.trace_base
+        for node, start, end in self._trace_connects:
+            tracer.add_span("connect", "network", base + start, base + end,
+                            node=node)
+        from ..tracing import Span
+
+        for channel in self._channels.values():
+            events = channel["events"] or []
+            first = events[0][0] if events else 0.0
+            last = events[-1][1] if events else 0.0
+            task_span = tracer.add_span(
+                "task", "executor", base + first, base + last,
+                node=channel["node"], index=channel["index"],
+                rows=channel["rows"], bytes=channel["bytes"],
+                batches=channel["flushes"], shard_group=channel["group"],
+                retries=0,
+            )
+            if task_span is None:
+                continue
+            for f_start, f_end, rows, nbytes in events:
+                task_span.add(Span("flush", "network", base + f_start,
+                                   base + f_end, node=channel["node"],
+                                   attrs={"rows": rows, "bytes": nbytes}))
+
+    # ------------------------------------------------------------ finish
+
+    def finish(self) -> ExecutionReport:
+        """Settle counters/gauges and reconstruct the parallel timeline.
+        Idempotent; always called (``finally``), including on failure."""
+        if self._finished:
+            return self.report
+        self._finished = True
+        for channel in self._channels.values():
+            self._channel_finished(channel)
+        report = self.report
+        report.task_count = len(self._channels)
+        node_elapsed = [max(state["busy"].values(), default=0.0)
+                        for state in self._node_state.values()]
+        report.elapsed = max(node_elapsed, default=0.0)
+        for node, state in self._node_state.items():
+            report.per_node_connections[node] = len(state["conns"])
+            reused = len(state["used"] & state["preexisting"])
+            if reused:
+                report.connections_reused += reused
+                self.counters.incr("connections_reused", reused, node=node)
+        report.connections_used = sum(report.per_node_connections.values())
+        if self.tracer is not None:
+            self._emit_channel_spans()
+            # Aggregate routing span: EXPLAIN ANALYZE lifts these actuals
+            # onto the "Repartition:" line of the plan tree.
+            self.tracer.add_span(
+                "route", "repartition", self.trace_base,
+                self.trace_base + report.elapsed,
+                flushes=report.copy_flushes, rows=report.copy_rows_routed,
+                bytes=report.copy_bytes_streamed,
+                channel_peak_rows=report.copy_channel_peak_rows,
+                channels=len(self._channels),
+            )
+        if self.ext.cluster is not None:
+            # Pipelining: the read side already advanced the clock while
+            # rows were being routed; only the write timeline's remainder
+            # beyond that overlap extends the statement.
+            overlapped = self.ext.cluster.clock.now() - self._start_clock
+            self.ext.cluster.clock.advance(max(0.0, report.elapsed - overlapped))
+        self.session.stats["citus_tasks"] += len(self._channels)
+        self.session.stats["citus_connections"] += report.connections_opened
+        self.counters.gauge_decr("executor_statements_in_flight")
+        if report.copy_channel_peak_rows:
+            self.counters.gauge_max("copy_channel_peak_rows",
+                                    report.copy_channel_peak_rows)
+        self.executor.last_report = report
         return report
 
 

@@ -41,6 +41,11 @@ class CitusConfig:
     # per-task worker cursors instead of materializing whole shard results.
     enable_streaming_pipeline: bool = True
     stream_batch_size: int = 256  # rows per cursor fetch round trip
+    # Streaming write data plane (§3.8): COPY / INSERT..SELECT route rows
+    # into per-shard COPY channels that flush to the workers incrementally
+    # instead of materializing whole per-shard batches on the coordinator.
+    enable_streaming_writes: bool = True
+    copy_flush_threshold: int = 512  # rows per channel before a flush
     deadlock_detection_interval_s: float = 2.0
     recovery_interval_s: float = 2.0
     # Distributed tracing / statement telemetry.

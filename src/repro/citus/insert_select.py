@@ -13,6 +13,13 @@ Three strategies, chosen in this order:
 3. **pull to coordinator** — the SELECT requires a merge step on the
    coordinator: run it as a regular distributed query, then distribute the
    result like a COPY.
+
+With ``citus.enable_streaming_writes`` the re-routing strategies are fully
+pipelined: the distributed SELECT is consumed through the PR-3 cursor
+machinery one batch at a time and fed straight into the ShardCopyRouter's
+per-shard COPY channels, so the coordinator never holds the intermediate
+result — its buffering is bounded by the read batch size plus
+``copy_flush_threshold × shards``.
 """
 
 from __future__ import annotations
@@ -90,6 +97,77 @@ def _dest_key_from_source_key(stmt: A.Insert, dest, analysis) -> bool:
     return analysis.equivalence.find(expr.key) in roots
 
 
+# --------------------------------------------------- streaming SELECT feed
+
+
+def _streaming_writes(ext) -> bool:
+    return (getattr(ext.config, "enable_streaming_writes", True)
+            and ext.cluster is not None)
+
+
+def _select_row_stream(ext, session, select, params):
+    """The SELECT side of the write pipeline.
+
+    Streaming writes on: returns a lazy row iterator that pulls the
+    distributed SELECT through the cursor pipeline batch by batch (when the
+    plan supports it), so rows flow straight into the copy channels without
+    coordinator materialization. Off: materializes the whole result first,
+    exactly like the pre-streaming write plane.
+    """
+    if not _streaming_writes(ext):
+        return session._execute_statement(select, params, None).rows
+    return _select_rows(ext, session, select, params)
+
+
+def _select_rows(ext, session, select, params):
+    plan = session.instance.hooks.call_planner(session, select, params)
+    if plan is None:
+        result = session._execute_local_dml(select, params)
+        yield from result.rows
+        return
+    open_batches = getattr(plan, "execute_batches", None)
+    if open_batches is not None:
+        source = open_batches(session, params)
+        if source is not None:
+            for batch in source:
+                yield from batch
+            return
+    # Not a streaming-capable plan (router, join-order, reference, or the
+    # pipeline GUC is off): materialized execution, same as before.
+    result = plan.execute(session, params)
+    yield from result.rows
+
+
+def _copy_target_tasks(ext, dest) -> list[Task]:
+    """The destination-side task list (one per COPY channel, in channel
+    index order), for EXPLAIN: channel spans match back to these by index."""
+    if dest is None:
+        return []
+    if dest.is_reference:
+        shard = dest.shards[0]
+        return [
+            Task(node, f"COPY {shard.shard_name}",
+                 shard_group=(dest.colocation_id, 0, node), returns_rows=False)
+            for node in ext.metadata.all_placements(shard.shardid)
+        ]
+    cache = ext.metadata.cache
+    return [
+        Task(cache.placement_node(shard.shardid), f"COPY {shard.shard_name}",
+             shard_group=(dest.colocation_id, index), returns_rows=False)
+        for index, shard in enumerate(dest.shards)
+    ]
+
+
+def _repartition_info(ext, channel_count: int) -> dict:
+    if _streaming_writes(ext):
+        return {
+            "mode": "streaming",
+            "flush_threshold": ext.config.copy_flush_threshold,
+            "channels": channel_count,
+        }
+    return {"mode": "materialized", "channels": channel_count}
+
+
 class PushdownInsertSelectPlan(CitusPlan):
     """Strategy 1: INSERT INTO dest_shard SELECT ... FROM src_shard, one
     task per co-located shard pair, fully parallel."""
@@ -144,7 +222,8 @@ class PushdownInsertSelectPlan(CitusPlan):
 class RepartitionInsertSelectPlan(CitusPlan):
     """Strategy 2: distributed SELECT whose per-shard results are re-routed
     by the destination's distribution column, without a coordinator merge
-    of the query itself."""
+    of the query itself. Streaming writes pipeline the SELECT's cursor
+    batches straight into the per-shard COPY channels."""
 
     tier = "insert_select"
 
@@ -154,11 +233,11 @@ class RepartitionInsertSelectPlan(CitusPlan):
         self.dest = dest
 
     def execute(self, session, params):
-        select_result = session._execute_statement(self.stmt.select, params, None)
+        rows = _select_row_stream(self.ext, session, self.stmt.select, params)
         shell = self.ext.instance.catalog.get_table(self.stmt.table)
         columns = self.stmt.columns or shell.column_names()
         count = distribute_rows(self.ext, session, self.stmt.table,
-                                select_result.rows, columns)
+                                rows, columns)
         out = QueryResult([], [], command="INSERT")
         out.rowcount = count
         self.ext.stats["insert_select_repartition"] += 1
@@ -171,12 +250,14 @@ class RepartitionInsertSelectPlan(CitusPlan):
         return {
             "tier": self.tier,
             "planner": "Insert..Select (repartition)",
-            "tasks": [],
+            "tasks": _copy_target_tasks(self.ext, self.dest),
             "task_count": len(self.dest.shards),
             "total_shard_count": len(self.dest.shards),
+            "pruned_shard_count": 0,
             "is_write": True,
             "pushed_down": ["SELECT (distributed)"],
             "coordinator": ["ROW RE-ROUTING"],
+            "repartition": _repartition_info(self.ext, len(self.dest.shards)),
             "subplan": {"strategy": "repartition", "destination": self.dest.name},
         }
 
@@ -193,24 +274,17 @@ class CoordinatorInsertSelectPlan(CitusPlan):
         self.local_dest = local_dest
 
     def execute(self, session, params):
-        select_result = session._execute_statement(self.stmt.select, params, None)
         self.ext.stats["insert_select_coordinator"] += 1
-        if self.local_dest:
-            insert = A.Insert(
-                table=self.stmt.table,
-                columns=list(self.stmt.columns),
-                rows=[[A.Literal(v) for v in row] for row in select_result.rows],
-            )
-            if not insert.rows:
-                out = QueryResult([], [], command="INSERT")
-                out.rowcount = 0
-                return out
-            return session._execute_local_dml(insert, None)
+        rows = _select_row_stream(self.ext, session, self.stmt.select, params)
         shell = self.ext.instance.catalog.get_table(self.stmt.table)
         columns = self.stmt.columns or shell.column_names()
-        dist = self.ext.metadata.cache.get_table(self.stmt.table)
-        count = distribute_rows(self.ext, session, self.stmt.table,
-                                select_result.rows, columns)
+        if self.local_dest:
+            from ..engine.copy import insert_rows
+
+            count = insert_rows(session, self.stmt.table, rows, columns)
+        else:
+            count = distribute_rows(self.ext, session, self.stmt.table,
+                                    rows, columns)
         out = QueryResult([], [], command="INSERT")
         out.rowcount = count
         return out
@@ -219,12 +293,19 @@ class CoordinatorInsertSelectPlan(CitusPlan):
         return self._explain_header(1, "Insert..Select (via coordinator)")
 
     def explain_info(self):
-        return {
+        dest = None
+        if not self.local_dest:
+            dest = self.ext.metadata.cache.tables.get(self.stmt.table)
+        tasks = _copy_target_tasks(self.ext, dest)
+        info = {
             "tier": self.tier,
             "planner": "Insert..Select (via coordinator)",
-            "tasks": [],
-            "task_count": 1,
+            "tasks": tasks,
+            "task_count": len(tasks) or 1,
             "is_write": True,
             "coordinator": ["SELECT MERGE", "ROW DISTRIBUTION"],
             "subplan": {"strategy": "coordinator", "destination": self.stmt.table},
         }
+        if dest is not None:
+            info["repartition"] = _repartition_info(self.ext, len(tasks))
+        return info

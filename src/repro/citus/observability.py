@@ -65,6 +65,7 @@ class DistributedExplain:
     coordinator: list[str] = field(default_factory=list)
     merge_query: str | None = None  # coordinator-side query over intermediates
     merge_strategy: str | None = None  # how shard streams combine (streaming)
+    repartition: dict | None = None  # write-side row re-routing (COPY channels)
     subplan: dict | None = None  # repartition / insert..select structure
     is_write: bool = False
     local_plan: list[str] = field(default_factory=list)  # tier == "local" only
@@ -99,6 +100,7 @@ class DistributedExplain:
             "coordinator": list(self.coordinator),
             "merge_query": self.merge_query,
             "merge_strategy": self.merge_strategy,
+            "repartition": self.repartition,
             "subplan": self.subplan,
             "is_write": self.is_write,
             "cached": self.cached,
@@ -133,6 +135,22 @@ class DistributedExplain:
             line = f"  Merge: {strategy}"
             if merge_actual:
                 line += _merge_actual_suffix(merge_actual)
+            lines.append(line)
+        route_actual = (self.analyze or {}).get("repartition")
+        if self.repartition or route_actual:
+            mode = (self.repartition or {}).get("mode") or "streaming"
+            line = f"  Repartition: {mode}"
+            detail = []
+            threshold = (self.repartition or {}).get("flush_threshold")
+            if threshold is not None:
+                detail.append(f"flush_threshold={threshold}")
+            channels = (self.repartition or {}).get("channels")
+            if channels is not None:
+                detail.append(f"channels={channels}")
+            if detail:
+                line += f" ({', '.join(detail)})"
+            if route_actual:
+                line += _route_actual_suffix(route_actual)
             lines.append(line)
         if self.subplan:
             detail = ", ".join(f"{k}={v}" for k, v in self.subplan.items())
@@ -231,6 +249,7 @@ def describe_plan(plan, sql: str = "") -> DistributedExplain:
         coordinator=list(info.get("coordinator", ())),
         merge_query=info.get("merge_query"),
         merge_strategy=info.get("merge_strategy"),
+        repartition=info.get("repartition"),
         subplan=info.get("subplan"),
         is_write=bool(info.get("is_write", False)),
         cached=bool(getattr(plan, "cached", False)),
@@ -258,6 +277,21 @@ def _task_actual_line(actual: dict) -> str:
     if retries:
         parts.append(f"retries={retries}")
     return f"({' '.join(parts)})"
+
+
+def _route_actual_suffix(route: dict) -> str:
+    parts = [f"actual rows={route.get('rows', 0)}"]
+    flushes = route.get("flushes")
+    if flushes is not None:
+        parts.append(f"flushes={flushes}")
+    parts.append(f"bytes={route.get('bytes', 0)}")
+    peak = route.get("channel_peak_rows")
+    if peak:
+        parts.append(f"channel_peak_rows={peak}")
+    time_ms = route.get("time_ms")
+    if time_ms is not None:
+        parts.append(f"time={time_ms:.3f} ms")
+    return f"  ({' '.join(parts)})"
 
 
 def _merge_actual_suffix(merge: dict) -> str:
@@ -328,6 +362,11 @@ def run_explain_analyze(plan, session, stmt, params=None) -> list[str]:
         merge = merge_spans[-1]
         analyze["merge"] = dict(merge.attrs)
         analyze["merge"]["time_ms"] = merge.duration * 1000.0
+    route_spans = root.find(cat="repartition")
+    if route_spans:
+        route = route_spans[-1]
+        analyze["repartition"] = dict(route.attrs)
+        analyze["repartition"]["time_ms"] = route.duration * 1000.0
     explained.analyze = analyze
     return explained.as_text().splitlines()
 

@@ -333,6 +333,63 @@ class MultiTaskSelectPlan(CitusPlan):
             return plan.merge_strategy
         return "concat" if plan.mode == "concat" else "group-merge"
 
+    # ------------------------------------------------- streaming consumers
+
+    def execute_batches(self, session, params):
+        """Open this SELECT as a generator of visible row batches for a
+        streaming consumer (the INSERT..SELECT write pipeline). Returns
+        None when the streaming pipeline does not apply — the caller falls
+        back to materialized :meth:`execute`."""
+        if self.bound is not None:
+            params = self.bound
+        execution = self.ext.executor.open_task_streams(session, self.plan.tasks)
+        if execution is None:
+            return None
+        return self._batch_generator(execution, session, params)
+
+    def _batch_generator(self, execution, session, params):
+        from .pushdown import stream_concat_rows
+
+        plan = self.plan
+        batch_size = self.ext.config.stream_batch_size
+        tracer = self.ext.tracer
+        tracing = tracer is not None and tracer.active
+        merge_start = self.ext.cluster.clock.now() if tracing else 0.0
+        rows_out = 0
+        try:
+            if plan.mode == "concat":
+                source = stream_concat_rows(plan, execution, session, params)
+            else:
+                # Group-merge: the worker partials stream into the hash
+                # aggregate batch by batch; the (much smaller) aggregated
+                # output is then re-chunked for the consumer.
+                from .pushdown import run_streaming_group_merge
+
+                source = iter(run_streaming_group_merge(
+                    plan, execution, session, params).rows)
+            batch = []
+            for row in source:
+                batch.append(row)
+                if len(batch) >= batch_size:
+                    rows_out += len(batch)
+                    yield batch
+                    batch = []
+            if batch:
+                rows_out += len(batch)
+                yield batch
+        finally:
+            report = execution.finish()
+            if tracing:
+                tracer.add_span(
+                    "merge", "merge", merge_start,
+                    self.ext.cluster.clock.now(), strategy=self._merge_label(),
+                    rows=rows_out,
+                    rows_buffered_peak=report.rows_buffered_peak,
+                    early_terminated=bool(report.early_terminations),
+                    tasks_skipped=report.tasks_skipped,
+                    streaming=True,
+                )
+
     def _execute_materialized(self, session, params):
         """Fallback data plane (``citus.enable_streaming_pipeline = off``):
         every per-shard result is fully buffered before the merge."""

@@ -525,8 +525,20 @@ def make_concat_sort_key(plan: PushdownSelect, visible_width: int):
     return key_fn
 
 
-def run_streaming_concat(plan: PushdownSelect, execution, session, params):
-    """Streaming coordinator merge for concat-mode plans.
+def concat_visible_columns(plan: PushdownSelect, streams) -> list:
+    """The visible output column names of a concat-mode plan: the first
+    shard stream's shape (``*`` targets expand only on the workers) with
+    trailing hidden sort columns trimmed."""
+    first_columns = list(streams[0].columns) if streams else []
+    n_appended = plan.n_visible
+    visible_width = len(first_columns) - n_appended
+    return first_columns[:visible_width] if n_appended else first_columns
+
+
+def stream_concat_rows(plan: PushdownSelect, execution, session, params):
+    """Streaming coordinator merge for concat-mode plans, as a generator
+    of visible rows (shared by the SELECT data plane and the INSERT..SELECT
+    write pipeline).
 
     With ORDER BY: k-way MergeAppend over the pre-sorted shard streams.
     Without: plain concat in task order (matching the materializing path's
@@ -534,7 +546,6 @@ def run_streaming_concat(plan: PushdownSelect, execution, session, params):
     a satisfied LIMIT closes the remaining streams — tasks whose stream was
     never started are skipped without ever being dispatched.
     """
-    from ...engine.executor import QueryResult
     from ...engine.expr import EvalContext, Row, evaluate
 
     streams = execution.streams
@@ -546,42 +557,52 @@ def run_streaming_concat(plan: PushdownSelect, execution, session, params):
         if value is not None:
             limit = int(value)
 
-    # Worker result shape comes from the first shard stream (``*`` targets
-    # expand only on the workers); trailing hidden sort columns are trimmed.
     first_columns = list(streams[0].columns) if streams else []
     n_appended = plan.n_visible
     visible_width = len(first_columns) - n_appended
-    columns = first_columns[:visible_width] if n_appended else first_columns
 
     if plan.hidden_sort_keys:
         source = _merge_append_rows(plan, streams, execution, visible_width)
     else:
         source = _concat_rows(streams, execution)
 
-    out_rows: list = []
-    seen = set() if plan.distinct else None
-    skipped = 0
-    satisfied = limit is not None and limit <= 0
-    if not satisfied:
-        for row in source:
-            if n_appended:
-                row = row[:visible_width]
-            if seen is not None:
-                key = tuple(_stream_hashable(v) for v in row)
-                if key in seen:
+    try:
+        seen = set() if plan.distinct else None
+        skipped = 0
+        emitted = 0
+        satisfied = limit is not None and limit <= 0
+        if not satisfied:
+            for row in source:
+                if n_appended:
+                    row = row[:visible_width]
+                if seen is not None:
+                    key = tuple(_stream_hashable(v) for v in row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                if skipped < offset:
+                    skipped += 1
                     continue
-                seen.add(key)
-            if skipped < offset:
-                skipped += 1
-                continue
-            out_rows.append(row)
-            if limit is not None and len(out_rows) >= limit:
-                satisfied = True
-                break
-    if satisfied and any(not s.done for s in streams):
-        execution.note_early_termination()
-    for stream in streams:
-        stream.close()
+                yield row
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    satisfied = True
+                    break
+        if satisfied and any(not s.done for s in streams):
+            execution.note_early_termination()
+    finally:
+        for stream in streams:
+            stream.close()
+
+
+def run_streaming_concat(plan: PushdownSelect, execution, session, params):
+    """Materializing wrapper over :func:`stream_concat_rows` — the SELECT
+    statement path, which must return a full :class:`QueryResult`."""
+    from ...engine.executor import QueryResult
+
+    streams = execution.streams
+    columns = concat_visible_columns(plan, streams)
+    out_rows = list(stream_concat_rows(plan, execution, session, params))
     return QueryResult(columns, out_rows)
 
 

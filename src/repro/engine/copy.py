@@ -58,6 +58,42 @@ def copy_into(session, table_name: str, rows, columns=None) -> int:
     return count
 
 
+def insert_rows(session, table_name: str, rows, columns=None) -> int:
+    """Append already-evaluated value rows through the executor's insert
+    path, with INSERT semantics (no ``rows_copied`` accounting).
+
+    Used by the INSERT..SELECT coordinator strategy for local destinations:
+    the source rows are plain values, so rebuilding per-row Literal AST
+    nodes just to re-evaluate them would be pure overhead. ``rows`` may be
+    a generator — the streaming write plane feeds it one source batch at a
+    time.
+    """
+    table = session.instance.catalog.get_table(table_name)
+    session.acquire_table_lock(table_name, "RowExclusive")
+    executor = LocalExecutor(session)
+    columns = list(columns or table.column_names())
+    count = 0
+    for values in rows:
+        values = list(values)
+        if len(values) != len(columns):
+            raise DataError(
+                f"INSERT has {len(values)} expressions"
+                f" but {len(columns)} target columns"
+            )
+        full = executor._build_full_row(table, columns, values)
+        if executor._find_conflict(table, full, None) is not None:
+            from ..errors import UniqueViolation
+
+            raise UniqueViolation(
+                f"duplicate key value violates unique constraint on {table_name!r}"
+            )
+        executor._check_not_null(table, full)
+        executor._check_foreign_keys(table, full)
+        executor._do_insert(table, full)
+        count += 1
+    return count
+
+
 def _normalize_rows(copy_data, session, stmt: A.Copy):
     if isinstance(copy_data, str):
         table = session.instance.catalog.get_table(stmt.table)

@@ -186,19 +186,27 @@ class RemoteConnection:
             engine_cursor = EngineCursor(result.columns, iter(result.rows))
         return RemoteCursor(self, engine_cursor, batch_size)
 
-    def copy_rows(self, table: str, rows, columns=None) -> int:
+    def copy_rows(self, table: str, rows, columns=None,
+                  pipelined: bool = False) -> int:
         if self.closed:
             raise NodeUnavailable(f"connection to {self.node_name} is closed")
         # Charge the wire cost up front, like execute(): the rows cross the
         # network whether or not the worker-side copy then fails. The
         # payload is the rows' actual wire size, same pricing as the
-        # result-set and cursor-batch directions.
+        # result-set and cursor-batch directions. A ``pipelined`` chunk
+        # rides a COPY stream that is already open on this connection —
+        # the sender does not wait for a per-chunk response, so it costs
+        # bandwidth only, no extra round trip (§3.8 "streams rows to the
+        # shards asynchronously").
         if not hasattr(rows, "__len__"):
             rows = list(rows)
         payload = sum(estimate_row_bytes(r) for r in rows) if rows else _ROW_OVERHEAD
-        self.round_trips += 1
         self.bytes_transferred += payload
-        self.elapsed += self.network.note_round_trip(payload_bytes=payload)
+        if pipelined:
+            self.elapsed += self.network.note_transfer(payload)
+        else:
+            self.round_trips += 1
+            self.elapsed += self.network.note_round_trip(payload_bytes=payload)
         return self.session.copy_rows(table, rows, columns)
 
     def begin_if_needed(self) -> None:

@@ -141,6 +141,32 @@ class PooledClient:
             self.pool._release(session)
         return result
 
+    def copy_rows(self, table: str, rows, columns=None) -> int:
+        """Programmatic COPY FROM through the pool, with the same lease /
+        release semantics as :meth:`execute` (COPY autocommits outside a
+        transaction block, so the server session is released afterwards)."""
+        if self.closed:
+            raise TooManyConnections(
+                "pgbouncer: client handle is closed"
+            )
+        session = self._leased
+        if session is None:
+            session = self.pool._acquire()
+        try:
+            count = session.copy_rows(table, rows, columns)
+        except Exception:
+            if session.in_transaction:
+                session.rollback()
+            self.pool._release(session)
+            self._leased = None
+            raise
+        if session.in_transaction:
+            self._leased = session
+        else:
+            self._leased = None
+            self.pool._release(session)
+        return count
+
     def close(self) -> None:
         """Idempotent: a double close must not underflow ``_client_count``
         or the ``pool_clients`` gauge (which would permanently inflate the

@@ -62,6 +62,7 @@ class TrafficConfig:
     tpcc_warehouses: int = 12
     tpcc_items: int = 20
     cross_warehouse_fraction: float = 0.07  # the paper's ~7% (§4.1)
+    gharchive_batch_rows: int = 32  # rows per batch-COPY ingest transaction
     pool_size: int = 32  # server sessions per node pool
     max_client_conn: int = 10_000  # pgbouncer client cap per node pool
     use_workers_as_coordinators: bool = True  # §3.2.1 metadata sync
@@ -81,6 +82,7 @@ class TrafficConfig:
             "ramp_seconds": self.ramp_seconds,
             "session_lifetime": list(self.session_lifetime),
             "mix_weights": dict(self.mix_weights),
+            "gharchive_batch_rows": self.gharchive_batch_rows,
             "pool_size": self.pool_size,
             "max_client_conn": self.max_client_conn,
             "use_workers_as_coordinators": self.use_workers_as_coordinators,

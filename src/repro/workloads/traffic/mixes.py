@@ -146,22 +146,35 @@ def _gharchive_setup(session, cfg) -> None:
     )
 
 
+def _gharchive_event(rng: random.Random, tenant: int, event_id: str) -> list:
+    day = rng.randrange(7) + 1
+    data = {
+        "type": "PushEvent",
+        "created_at": f"2020-01-{day:02d}T{rng.randrange(24):02d}:00:00",
+        "repo": f"org/repo-{tenant}",
+        "payload": {"commits": [{"sha": event_id[:10], "message": "update"}]},
+    }
+    return [event_id, data]
+
+
 def _gharchive_transaction(client, rng: random.Random, tenant: int, cfg) -> None:
     event_id = hashlib.md5(
         f"{cfg.seed}-{tenant}-{rng.getrandbits(64)}".encode()
     ).hexdigest()
-    if rng.random() < 0.9:
-        day = rng.randrange(7) + 1
-        data = {
-            "type": "PushEvent",
-            "created_at": f"2020-01-{day:02d}T{rng.randrange(24):02d}:00:00",
-            "repo": f"org/repo-{tenant}",
-            "payload": {"commits": [{"sha": event_id[:10], "message": "update"}]},
-        }
+    roll = rng.random()
+    if roll < 0.85:
         client.execute(
             "INSERT INTO github_events (event_id, data) VALUES ($1, $2)",
-            [event_id, data],
+            _gharchive_event(rng, tenant, event_id),
         )
+    elif roll < 0.9:
+        # Batch ingest: a micro-archive of events lands as one COPY
+        # through the streaming write plane's per-shard channels.
+        batch = [
+            _gharchive_event(rng, tenant, f"{event_id}-{i}")
+            for i in range(cfg.gharchive_batch_rows)
+        ]
+        client.copy_rows("github_events", batch, ["event_id", "data"])
     else:
         client.execute(
             "SELECT data FROM github_events WHERE event_id = $1", [event_id]

@@ -1,0 +1,330 @@
+"""Streaming write data plane: pipelined INSERT..SELECT / COPY routing.
+
+Covers the per-shard COPY channel router end to end:
+
+- **bounded buffering** (the acceptance criterion): a large repartition
+  INSERT..SELECT keeps the coordinator's write-side buffer at
+  ``copy_flush_threshold × shard_count`` rows, not the total row count;
+- **parity**: all three INSERT..SELECT strategies and programmatic COPY
+  produce identical destination shard contents with
+  ``citus.enable_streaming_writes`` on and off;
+- **atomicity**: a NULL distribution column or a client-side error after
+  flushes have already been dispatched rolls back every shard write and
+  leaves the gauges settled;
+- **observability**: the new ``copy_*`` counters, the "Repartition:"
+  line in ``citus_explain``, and per-flush EXPLAIN ANALYZE actuals;
+- the satellite: the ``local_dest`` coordinator path inserts value rows
+  directly instead of rebuilding per-row INSERT ASTs.
+"""
+
+import pytest
+
+from repro import make_cluster
+from repro.errors import NotNullViolation, UniqueViolation
+
+SHARDS = 8  # the conftest ``citus`` fixture's per-table shard count
+
+
+def counters_dict(session):
+    """citus_stat_counters() rows as {(name, node): value}."""
+    rows = session.execute("SELECT citus_stat_counters()").rows
+    out = {}
+    for (entries,) in rows:
+        for name, node, value in entries:
+            out[(name, node)] = value
+    return out
+
+
+def counter_total(session, name):
+    return sum(v for (n, _node), v in counters_dict(session).items() if n == name)
+
+
+def shard_rows(citus, table):
+    """{shard_name: sorted row tuples} read directly from the workers."""
+    ext = citus.coordinator_ext
+    dist = ext.metadata.cache.get_table(table)
+    out = {}
+    for shard in dist.shards:
+        node = ext.metadata.cache.placement_node(shard.shardid)
+        check = citus.cluster.node(node).connect()
+        rows = check.execute(f"SELECT * FROM {shard.shard_name}").rows
+        check.close()
+        out[shard.shard_name] = sorted(tuple(r) for r in rows)
+    return out
+
+
+def make_tables(s, with_dest_pk=False):
+    s.execute("CREATE TABLE src (k int PRIMARY KEY, v int, label text)")
+    s.execute("SELECT create_distributed_table('src', 'k')")
+    pk = " PRIMARY KEY" if with_dest_pk else ""
+    s.execute(f"CREATE TABLE dest (id int{pk}, val int)")
+    s.execute("SELECT create_distributed_table('dest', 'id')")
+
+
+def load_src(s, n, null_v_at=None):
+    rows = [
+        [k, None if k == null_v_at else k, f"label-{k}"] for k in range(1, n + 1)
+    ]
+    s.copy_rows("src", rows, ["k", "v", "label"])
+
+
+@pytest.fixture
+def s(citus):
+    s = citus.coordinator_session()
+    make_tables(s)
+    return s
+
+
+# The three INSERT..SELECT strategies over src(k)->dest(id):
+#  - pushdown: dest key fed by the source key, co-located shard pairs;
+#  - repartition: dest key fed by a non-distribution column;
+#  - coordinator: cross-shard aggregate forces a coordinator merge.
+STRATEGY_SQL = {
+    "pushdown": "INSERT INTO dest (id, val) SELECT k, v FROM src",
+    "repartition": "INSERT INTO dest (id, val) SELECT v, k FROM src",
+    "coordinator":
+        "INSERT INTO dest (id, val) SELECT v, count(*) FROM src GROUP BY v",
+}
+
+
+# --------------------------------------------------------------- acceptance
+
+
+class TestBoundedPeak:
+    def test_repartition_peak_bounded_by_flush_threshold(self, citus, s):
+        """≥ 10k-row repartition INSERT..SELECT: the coordinator's write
+        buffer peaks at flush_threshold × shards, not the total row count."""
+        ext = citus.coordinator_ext
+        load_src(s, 10_000)
+        s.execute(STRATEGY_SQL["repartition"])
+        report = ext.executor.last_report  # the write-side channel report
+        assert s.execute("SELECT count(*) FROM dest").scalar() == 10_000
+
+        threshold = ext.config.copy_flush_threshold
+        assert 0 < report.copy_channel_peak_rows <= threshold * SHARDS
+        assert report.copy_channel_peak_rows < 10_000 / 2
+        assert report.copy_flushes >= 10_000 // threshold
+        assert report.copy_rows_routed == 10_000
+        assert report.copy_bytes_streamed > 0
+
+        gauge = counters_dict(s)[("copy_channel_peak_rows", None)]
+        assert 0 < gauge <= threshold * SHARDS
+
+    def test_flush_threshold_guc_is_respected(self, citus, s):
+        ext = citus.coordinator_ext
+        ext.config.copy_flush_threshold = 16
+        rows = [[k, k, f"l{k}"] for k in range(1, 2_001)]
+        s.copy_rows("src", rows, ["k", "v", "label"])
+        report = ext.executor.last_report
+        assert 0 < report.copy_channel_peak_rows <= 16 * SHARDS
+        assert report.copy_flushes >= 2_000 // 16
+
+    def test_copy_peak_far_below_total(self, citus, s):
+        load_src(s, 10_000)
+        report = citus.coordinator_ext.executor.last_report
+        assert report.copy_rows_routed == 10_000
+        assert report.copy_channel_peak_rows < 10_000 / 2
+
+
+# ------------------------------------------------------------------- parity
+
+
+def run_with_streaming(enabled, sql=None, copy_rows=None, n=3_000):
+    """Fresh identical cluster; run the write with the GUC set; return
+    (shard contents of dest, destination rowcount, copy_flushes total)."""
+    citus = make_cluster(workers=2, shard_count=SHARDS)
+    s = citus.coordinator_session()
+    make_tables(s)
+    load_src(s, n)
+    citus.coordinator_ext.config.enable_streaming_writes = enabled
+    before = counter_total(s, "copy_flushes")
+    if sql is not None:
+        s.execute(sql)
+    if copy_rows is not None:
+        s.copy_rows("dest", copy_rows, ["id", "val"])
+    flushes = counter_total(s, "copy_flushes") - before
+    count = s.execute("SELECT count(*) FROM dest").scalar()
+    return shard_rows(citus, "dest"), count, flushes
+
+
+class TestStreamingOffParity:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGY_SQL))
+    def test_insert_select_same_shard_contents(self, strategy):
+        sql = STRATEGY_SQL[strategy]
+        on_shards, on_count, on_flushes = run_with_streaming(True, sql=sql)
+        off_shards, off_count, off_flushes = run_with_streaming(False, sql=sql)
+        assert on_count == off_count > 0
+        assert on_shards == off_shards
+        assert off_flushes == 0
+        if strategy != "pushdown":  # pushdown never moves rows through COPY
+            assert on_flushes > 0
+
+    def test_copy_same_shard_contents(self):
+        rows = [[k, k * 3] for k in range(1, 3_001)]
+        on_shards, on_count, on_flushes = run_with_streaming(
+            True, copy_rows=rows, n=10)
+        off_shards, off_count, off_flushes = run_with_streaming(
+            False, copy_rows=rows, n=10)
+        assert on_count == off_count == 3_000
+        assert on_shards == off_shards
+        assert on_flushes > 0 and off_flushes == 0
+
+    def test_off_switch_restores_materialized_plane(self, citus, s):
+        ext = citus.coordinator_ext
+        ext.config.enable_streaming_writes = False
+        before = counter_total(s, "copy_flushes")
+        load_src(s, 1_000)
+        s.execute(STRATEGY_SQL["repartition"])
+        assert counter_total(s, "copy_flushes") == before
+        assert ("copy_channel_peak_rows", None) not in counters_dict(s)
+        assert s.execute("SELECT count(*) FROM dest").scalar() == 1_000
+
+    def test_reference_table_copy_replicates_streaming(self, citus, s):
+        s.execute("CREATE TABLE dims (id int PRIMARY KEY, n text)")
+        s.execute("SELECT create_reference_table('dims')")
+        s.copy_rows("dims", [[i, f"d{i}"] for i in range(1, 41)])
+        dist = citus.coordinator_ext.metadata.cache.get_table("dims")
+        shard = dist.shards[0].shard_name
+        for node in citus.cluster.node_names():
+            check = citus.cluster.node(node).connect()
+            assert check.execute(f"SELECT count(*) FROM {shard}").scalar() == 40
+            check.close()
+
+
+# ---------------------------------------------------------------- atomicity
+
+
+class TestMidStreamAtomicity:
+    def test_copy_null_dist_column_after_flushes_rolls_back(self, citus, s):
+        """Rows already flushed to the workers under the write transaction
+        must all roll back when a later row fails the NULL check."""
+        ext = citus.coordinator_ext
+        ext.config.copy_flush_threshold = 16
+        before = counter_total(s, "copy_flushes")
+        rows = [[k, k, f"l{k}"] for k in range(1, 501)] + [[None, 0, "boom"]]
+        with pytest.raises(NotNullViolation):
+            s.copy_rows("src", rows, ["k", "v", "label"])
+        # Flushes were dispatched before the failure…
+        assert counter_total(s, "copy_flushes") > before
+        # …and every shard write rolled back.
+        assert s.execute("SELECT count(*) FROM src").scalar() == 0
+        assert all(not rows for rows in shard_rows(citus, "src").values())
+
+    def test_insert_select_null_dest_key_mid_stream_rolls_back(self, citus, s):
+        ext = citus.coordinator_ext
+        ext.config.copy_flush_threshold = 16
+        load_src(s, 2_000, null_v_at=1_900)  # v is the dest dist key below
+        with pytest.raises(NotNullViolation):
+            s.execute(STRATEGY_SQL["repartition"])
+        assert s.execute("SELECT count(*) FROM dest").scalar() == 0
+        assert all(not rows for rows in shard_rows(citus, "dest").values())
+
+    def test_client_error_mid_stream_rolls_back(self, citus, s):
+        ext = citus.coordinator_ext
+        ext.config.copy_flush_threshold = 16
+
+        def feed():
+            for k in range(1, 501):
+                yield [k, k, f"l{k}"]
+            raise RuntimeError("client hung up")
+
+        with pytest.raises(RuntimeError):
+            s.copy_rows("src", feed(), ["k", "v", "label"])
+        assert s.execute("SELECT count(*) FROM src").scalar() == 0
+
+    def test_gauges_settle_after_failure(self, citus, s):
+        citus.coordinator_ext.config.copy_flush_threshold = 16
+        rows = [[k, k, f"l{k}"] for k in range(1, 201)] + [[None, 0, "x"]]
+        with pytest.raises(NotNullViolation):
+            s.copy_rows("src", rows, ["k", "v", "label"])
+        counters = counters_dict(s)
+        in_flight = [v for (n, _), v in counters.items()
+                     if n in ("executor_statements_in_flight", "tasks_in_flight")]
+        assert all(v == 0 for v in in_flight)
+        # The plane stays usable: the next COPY succeeds end to end.
+        s.copy_rows("src", [[1, 1, "ok"], [2, 2, "ok"]], ["k", "v", "label"])
+        assert s.execute("SELECT count(*) FROM src").scalar() == 2
+
+    def test_duplicate_key_mid_stream_rolls_back(self, citus, s):
+        citus.coordinator_ext.config.copy_flush_threshold = 4
+        s.execute("INSERT INTO src VALUES (40, 1, 'seed')")
+        rows = [[k, k, f"l{k}"] for k in range(1, 101)]  # k=40 collides
+        with pytest.raises(UniqueViolation):
+            s.copy_rows("src", rows, ["k", "v", "label"])
+        assert s.execute("SELECT count(*) FROM src").scalar() == 1
+
+
+# ------------------------------------------------------------ observability
+
+
+class TestObservability:
+    def test_counters_exposed_via_udf(self, citus, s):
+        before = counters_dict(s)
+        load_src(s, 2_000)
+        after = counters_dict(s)
+        routed = sum(v - before.get((n, node), 0)
+                     for (n, node), v in after.items() if n == "copy_rows_routed")
+        streamed = sum(v - before.get((n, node), 0)
+                       for (n, node), v in after.items()
+                       if n == "copy_bytes_streamed")
+        assert routed == 2_000
+        assert streamed > 0
+        assert after[("copy_channel_peak_rows", None)] > 0
+
+    def test_explain_shows_streaming_repartition(self, citus, s):
+        text = s.execute(
+            "SELECT citus_explain("
+            "'INSERT INTO dest (id, val) SELECT v, k FROM src')"
+        ).scalar()
+        threshold = citus.coordinator_ext.config.copy_flush_threshold
+        assert f"Repartition: streaming (flush_threshold={threshold}," in text
+        assert f"channels={SHARDS}" in text
+        assert "strategy=repartition" in text
+
+    def test_explain_shows_materialized_when_off(self, citus, s):
+        citus.coordinator_ext.config.enable_streaming_writes = False
+        text = s.execute(
+            "SELECT citus_explain("
+            "'INSERT INTO dest (id, val) SELECT v, k FROM src')"
+        ).scalar()
+        assert "Repartition: materialized" in text
+
+    def test_explain_analyze_reports_flush_actuals(self, citus, s):
+        load_src(s, 2_000)
+        text = s.execute(
+            "SELECT citus_explain_analyze("
+            "'INSERT INTO dest (id, val) SELECT v, k FROM src')"
+        ).scalar()
+        assert "Repartition: streaming" in text
+        assert "actual rows=2000" in text
+        assert "flushes=" in text
+        assert "channel_peak_rows=" in text
+        # The write actually ran under ANALYZE.
+        assert s.execute("SELECT count(*) FROM dest").scalar() == 2_000
+
+    def test_coordinator_strategy_reports_repartition(self, citus, s):
+        text = s.execute(
+            "SELECT citus_explain('" + STRATEGY_SQL["coordinator"] + "')"
+        ).scalar()
+        assert "Repartition: streaming" in text
+        assert "strategy=coordinator" in text
+
+
+# ------------------------------------------------- coordinator / local dest
+
+
+class TestLocalDestination:
+    def test_distributed_select_into_local_table(self, citus, s):
+        load_src(s, 500)
+        s.execute("CREATE TABLE loc (id int, val int)")
+        s.execute("INSERT INTO loc (id, val) SELECT k, v FROM src")
+        assert s.execute("SELECT count(*) FROM loc").scalar() == 500
+        assert s.execute("SELECT val FROM loc WHERE id = 42").scalar() == 42
+
+    def test_local_dest_enforces_constraints(self, citus, s):
+        load_src(s, 10)
+        s.execute("CREATE TABLE loc (id int PRIMARY KEY, val int)")
+        s.execute("INSERT INTO loc (id, val) SELECT k, v FROM src")
+        with pytest.raises(UniqueViolation):
+            s.execute("INSERT INTO loc (id, val) SELECT k, v FROM src")
+        assert s.execute("SELECT count(*) FROM loc").scalar() == 10
