@@ -37,9 +37,11 @@ from repro import make_cluster  # noqa: E402
 REGRESSION_FLOOR = 0.70
 
 
-def _setup(shard_count: int = 8):
+def _setup(shard_count: int = 8, plan_alternatives: bool = True):
     cluster = make_cluster(workers=2, shard_count=shard_count,
                            max_connections=2000)
+    # CitusConfig is shared cluster-wide, so one assignment covers every node.
+    cluster.coordinator_ext.config.enable_plan_alternatives = plan_alternatives
     session = cluster.coordinator_session()
     session.execute(
         "CREATE TABLE accounts (key int PRIMARY KEY, v int, filler text)"
@@ -99,18 +101,19 @@ def bench_pushdown_agg(session, iterations: int) -> dict:
             "stmts_per_sec": iterations / elapsed}
 
 
-def run(quick: bool = False) -> dict:
+def run(quick: bool = False, plan_alternatives: bool = True) -> dict:
     fast_iters = 2000 if not quick else 400
     txn_iters = 500 if not quick else 100
     agg_iters = 200 if not quick else 50
-    cluster, session = _setup()
+    cluster, session = _setup(plan_alternatives=plan_alternatives)
     results = {
         "fast_path": bench_fast_path(session, fast_iters),
         "router_txn": bench_router_txn(session, txn_iters),
         "pushdown_agg": bench_pushdown_agg(session, agg_iters),
     }
     return {
-        "config": {"workers": 2, "shard_count": 8, "quick": quick},
+        "config": {"workers": 2, "shard_count": 8, "quick": quick,
+                   "plan_alternatives": plan_alternatives},
         "results": results,
     }
 
@@ -122,9 +125,15 @@ def main(argv=None) -> int:
     parser.add_argument("--out", help="write results JSON to this path")
     parser.add_argument("--baseline",
                         help="baseline JSON; fail on >30%% fast-path regression")
+    parser.add_argument("--plan-alternatives", choices=("on", "off"),
+                        default="on",
+                        help="citus.enable_plan_alternatives for the run; the"
+                        " CI gate checks the off-state stays within the same"
+                        " hot-path budget")
     args = parser.parse_args(argv)
 
-    report = run(quick=args.quick)
+    report = run(quick=args.quick,
+                 plan_alternatives=args.plan_alternatives == "on")
     for name, r in report["results"].items():
         print(f"{name:>14}: {r['stmts_per_sec']:>10.1f} stmts/sec"
               f"  ({r['statements']} statements in {r['seconds']:.2f}s)")

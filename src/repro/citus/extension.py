@@ -11,7 +11,7 @@ does flows through those hooks; the engine knows nothing about Citus.
 from __future__ import annotations
 
 import itertools
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 
 from ..engine.catalog import Procedure
@@ -55,6 +55,14 @@ class CitusConfig:
     # Live introspection: wait-event accounting + per-tenant statistics
     # (citus_dist_stat_activity / citus_lock_waits / citus_stat_tenants).
     enable_introspection: bool = True
+    # Candidate-plan pipeline: record a PlanSearch (tiers tried, structured
+    # rejections, costed alternatives) per planned statement, exposed via
+    # citus_plan_alternatives() / EXPLAIN "Considered:" lines. Off keeps
+    # the planner hot path free of per-statement search bookkeeping.
+    enable_plan_alternatives: bool = True
+    # Comma-separated cascade tiers to skip (fast_path,router,pushdown,
+    # join_order) — a debugging/regression-gate lever, not a paper GUC.
+    planner_disabled_tiers: str = ""
 
 
 class NamedArgument:
@@ -97,6 +105,9 @@ class CitusExtension:
         # for an uninstrumented baseline.
         self.tracer = None
         self.stats: Counter = Counter()
+        # Ring buffer of PlanSearch records (citus.enable_plan_alternatives),
+        # newest last; drained by citus_plan_alternatives().
+        self.plan_searches: deque = deque(maxlen=128)
         # citus_stat_counters_reset() baseline for the engine-level
         # expression-compilation counter (a process-wide monotonic count).
         self.expr_compile_baseline = 0
@@ -616,6 +627,41 @@ def _register_udfs(ext: CitusExtension) -> None:
         limit = int(rest[0]) if rest else None
         return ext.tracer.export_chrome_json(limit)
 
+    def citus_plan_alternatives(session, *rest):
+        """The candidate-plan pipeline's PlanSearch records as JSON.
+
+        With a SQL argument the statement is planned afresh (bypassing the
+        plan cache) and that single search — every cascade tier tried, each
+        structured rejection, and all costed candidates — is returned.
+        Without arguments, the ring buffer of recent searches is returned,
+        newest last."""
+        import json
+
+        from ..errors import UnsupportedDistributedQuery
+        from ..sql import parse
+        from .planner.distributed import plan_statement
+        from .planner.pipeline import PlanSearch, record_chosen_plan
+
+        if not ext.config.enable_plan_alternatives:
+            return json.dumps(
+                {"error": "citus.enable_plan_alternatives is off"}
+            )
+        if rest:
+            statements = parse(rest[0])
+            if len(statements) != 1:
+                raise ReproError(
+                    "citus_plan_alternatives() needs exactly one statement"
+                )
+            stmt = statements[0]
+            search = PlanSearch(statement=rest[0])
+            try:
+                plan = plan_statement(ext, session, stmt, None, search=search)
+                record_chosen_plan(search, plan)
+            except UnsupportedDistributedQuery as exc:
+                search.error = str(exc)
+            return json.dumps(search.as_dict())
+        return json.dumps([s.as_dict() for s in ext.plan_searches])
+
     def citus_slow_queries(session, *rest):
         """Slow-query log entries (citus.log_min_duration gate): rows of
         [sql, duration_ms, tier, partition_key, rows, error]."""
@@ -728,6 +774,7 @@ def _register_udfs(ext: CitusExtension) -> None:
         "citus_stat_statements": citus_stat_statements,
         "citus_stat_statements_reset": citus_stat_statements_reset,
         "citus_trace_export": citus_trace_export,
+        "citus_plan_alternatives": citus_plan_alternatives,
         "citus_slow_queries": citus_slow_queries,
         "citus_dist_stat_activity": citus_dist_stat_activity,
         "citus_lock_waits": citus_lock_waits,

@@ -173,6 +173,7 @@ class PushdownInsertSelectPlan(CitusPlan):
     task per co-located shard pair, fully parallel."""
 
     tier = "insert_select"
+    detail = "Insert..Select (co-located)"
 
     def __init__(self, ext, stmt, params, dest, analysis):
         super().__init__(ext)
@@ -209,7 +210,7 @@ class PushdownInsertSelectPlan(CitusPlan):
         ]
         return {
             "tier": self.tier,
-            "planner": "Insert..Select (co-located)",
+            "detail": self.detail,
             "tasks": tasks,
             "total_shard_count": len(self.dest.shards),
             "pruned_shard_count": 0,
@@ -226,6 +227,7 @@ class RepartitionInsertSelectPlan(CitusPlan):
     batches straight into the per-shard COPY channels."""
 
     tier = "insert_select"
+    detail = "Insert..Select (repartition)"
 
     def __init__(self, ext, stmt, params, dest):
         super().__init__(ext)
@@ -249,7 +251,7 @@ class RepartitionInsertSelectPlan(CitusPlan):
     def explain_info(self):
         return {
             "tier": self.tier,
-            "planner": "Insert..Select (repartition)",
+            "detail": self.detail,
             "tasks": _copy_target_tasks(self.ext, self.dest),
             "task_count": len(self.dest.shards),
             "total_shard_count": len(self.dest.shards),
@@ -267,6 +269,7 @@ class CoordinatorInsertSelectPlan(CitusPlan):
     COPY-style distribution into the destination."""
 
     tier = "insert_select"
+    detail = "Insert..Select (via coordinator)"
 
     def __init__(self, ext, stmt, params, local_dest: bool = False):
         super().__init__(ext)
@@ -299,7 +302,7 @@ class CoordinatorInsertSelectPlan(CitusPlan):
         tasks = _copy_target_tasks(self.ext, dest)
         info = {
             "tier": self.tier,
-            "planner": "Insert..Select (via coordinator)",
+            "detail": self.detail,
             "tasks": tasks,
             "task_count": len(tasks) or 1,
             "is_write": True,

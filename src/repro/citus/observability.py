@@ -70,6 +70,13 @@ class DistributedExplain:
     is_write: bool = False
     local_plan: list[str] = field(default_factory=list)  # tier == "local" only
     cached: bool = False  # replayed from the distributed plan cache
+    #: Candidate-plan pipeline (citus.enable_plan_alternatives): one line
+    #: per cascade tier tried — rejections with structured reasons, costed
+    #: alternatives, and the chosen plan.
+    considered: list[str] = field(default_factory=list)
+    #: The full PlanSearch record as a dict (None when the GUC is off or
+    #: the plan carries no search).
+    search: dict | None = None
     #: EXPLAIN ANALYZE only: statement-level actuals — rows, total_ms, and
     #: the coordinator merge span (strategy, time_ms, rows, buffered peak,
     #: early termination). None for plain EXPLAIN.
@@ -104,6 +111,8 @@ class DistributedExplain:
             "subplan": self.subplan,
             "is_write": self.is_write,
             "cached": self.cached,
+            "considered": list(self.considered),
+            "search": self.search,
             "analyze": self.analyze,
         }
 
@@ -114,6 +123,8 @@ class DistributedExplain:
         lines = ["Custom Scan (Citus Adaptive)"]
         marker = " (cached)" if self.cached else ""
         lines.append(f"  Planner: {self.planner}{marker}  [tier: {self.tier}]")
+        for considered in self.considered:
+            lines.append(f"  {considered}")
         if self.total_shard_count is not None and self.pruned_shard_count is not None:
             targeted = self.total_shard_count - self.pruned_shard_count
             lines.append(
@@ -237,10 +248,13 @@ def describe_plan(plan, sql: str = "") -> DistributedExplain:
         targeted = _distinct_shards(tasks)
         if targeted is not None:
             pruned = max(total - targeted, 0)
+    from .planner.pipeline import tier_label
+
+    search = getattr(plan, "search", None)
     return DistributedExplain(
         sql=sql,
         tier=info["tier"],
-        planner=info.get("planner", info["tier"]),
+        planner=info.get("detail") or tier_label(info["tier"]),
         task_count=task_count,
         tasks=tasks,
         total_shard_count=total,
@@ -253,6 +267,8 @@ def describe_plan(plan, sql: str = "") -> DistributedExplain:
         subplan=info.get("subplan"),
         is_write=bool(info.get("is_write", False)),
         cached=bool(getattr(plan, "cached", False)),
+        considered=search.considered_lines() if search is not None else [],
+        search=search.as_dict() if search is not None else None,
     )
 
 

@@ -2,7 +2,10 @@
 
 "For each query, Citus iterates over the four planners, from lowest to
 highest overhead. If a particular planner can plan the query, Citus uses
-it": fast path → router → logical pushdown → logical join-order. Plans are
+it": fast path → router → logical pushdown → logical join-order. The walk
+is driven over the explicit :data:`CASCADE` tier list and recorded into a
+:class:`~.pipeline.PlanSearch` (tiers tried, accept/reject reasons, costed
+candidates) when ``citus.enable_plan_alternatives`` is on. Plans are
 :class:`CustomScanPlan` objects returned from the planner hook; their
 ``execute`` drives the adaptive executor and (for merge plans) the local
 executor for the merge step on the coordinator.
@@ -19,6 +22,7 @@ from ...sql import ast as A
 from ..sharding import analyze_statement, collect_table_names
 from ..tracing import partition_key_for
 from .fast_path import try_fast_path
+from .pipeline import PlannerTier, PlanSearch, record_chosen_plan
 from .pushdown import plan_pushdown_dml, plan_pushdown_select
 from .router import try_router
 from .tasks import Task, rewrite_to_shard, task_sql_for_shard
@@ -36,11 +40,29 @@ def make_planner_hook(ext):
             return None
         ext.stats["distributed_queries"] += 1
         ext.stat_counters.incr("planner_total")
+        alternatives = ext.config.enable_plan_alternatives
         plan = ext.plan_cache.lookup(session, stmt, params)
         cache_hit = plan is not None
         if plan is None:
-            plan = plan_statement(ext, session, stmt, params)
+            search = PlanSearch() if alternatives else None
+            try:
+                plan = plan_statement(ext, session, stmt, params, search=search)
+            except UnsupportedDistributedQuery as exc:
+                # The search (with every tier's rejection reason) is still
+                # recorded so citus_plan_alternatives() can explain why the
+                # statement was unplannable.
+                if search is not None:
+                    search.error = str(exc)
+                    _finish_search(ext, stmt, search)
+                raise
+            if search is not None:
+                plan.search = search
+                _finish_search(ext, stmt, search)
             ext.plan_cache.store(stmt, plan)
+        elif alternatives:
+            replayed = getattr(plan, "search", None)
+            if replayed is not None:
+                ext.plan_searches.append(replayed)
         tier = getattr(plan, "tier", None)
         if tier:
             ext.stat_counters.incr(f"planner_{tier}")
@@ -62,13 +84,30 @@ def make_planner_hook(ext):
     return planner_hook
 
 
+def _statement_fingerprint(stmt) -> str:
+    from .plan_cache import _normalize_statement
+
+    norm = _normalize_statement(stmt)
+    if norm is not None:
+        return norm[2]
+    # Plan-cache-ineligible shapes (multi-row INSERT, INSERT..SELECT)
+    # still deserve a stat_statements identity, keyed by shape+table.
+    return f"{type(stmt).__name__}:{getattr(stmt, 'table', '')}"
+
+
+def _finish_search(ext, stmt, search: PlanSearch) -> None:
+    """Stamp the statement identity onto a completed search and retain it
+    in the extension's ring buffer (citus_plan_alternatives())."""
+    if search.fingerprint is None:
+        search.fingerprint = _statement_fingerprint(stmt)
+    ext.plan_searches.append(search)
+
+
 def _trace_planning(ext, tracer, session, stmt, params, plan, tier,
                     cache_hit: bool, tenant) -> None:
     """Attach the plan span and statement-level attribution to the active
     trace. Planning consumes no simulated time, so the span is an instant
     marker carrying the cascade's decisions."""
-    from .plan_cache import _normalize_statement
-
     task_count = None
     tasks = getattr(plan, "tasks", None)
     if tasks is None:
@@ -76,17 +115,22 @@ def _trace_planning(ext, tracer, session, stmt, params, plan, tier,
         tasks = getattr(inner, "tasks", None)
     if tasks is not None:
         task_count = len(tasks)
+    attrs = {}
+    search = getattr(plan, "search", None)
+    if search is not None:
+        # Search attributes ride on the plan event, so the Chrome trace
+        # export shows what the cascade considered for every statement.
+        attrs = {
+            "tiers_tried": ",".join(search.tiers_tried),
+            "chosen_cost": search.chosen_cost,
+            "best_alternative_cost": search.best_alternative_cost,
+            "cost_ratio": search.cost_ratio,
+        }
     tracer.event(
         "plan", "planner", node=session.instance.name,
-        tier=tier, cached=cache_hit, tasks=task_count,
+        tier=tier, cached=cache_hit, tasks=task_count, **attrs,
     )
-    norm = _normalize_statement(stmt)
-    if norm is not None:
-        fingerprint = norm[2]
-    else:
-        # Plan-cache-ineligible shapes (multi-row INSERT, INSERT..SELECT)
-        # still deserve a stat_statements identity, keyed by shape+table.
-        fingerprint = f"{type(stmt).__name__}:{getattr(stmt, 'table', '')}"
+    fingerprint = _statement_fingerprint(stmt)
     tracer.annotate(
         tier=tier,
         fingerprint=fingerprint,
@@ -95,25 +139,82 @@ def _trace_planning(ext, tracer, session, stmt, params, plan, tier,
     )
 
 
-def plan_statement(ext, session, stmt, params) -> CustomScanPlan:
+def _tier_fast_path(ext, session, stmt, params, analysis, search):
+    tasks = try_fast_path(ext, stmt, params, search=search)
+    if tasks is None:
+        return None
+    ext.stats["fast_path_queries"] += 1
+    return SingleTaskPlan(ext, tasks, "Fast Path Router", tier="fast_path",
+                          is_write=not isinstance(stmt, A.Select))
+
+
+def _tier_router(ext, session, stmt, params, analysis, search):
+    tasks = try_router(ext, stmt, params, analysis, search=search)
+    if tasks is None:
+        return None
+    ext.stats["router_queries"] += 1
+    return SingleTaskPlan(ext, tasks, "Router", tier="router",
+                          is_write=not isinstance(stmt, A.Select))
+
+
+def _tier_pushdown(ext, session, stmt, params, analysis, search):
+    if isinstance(stmt, A.Select):
+        plan = plan_pushdown_select(ext, stmt, params, analysis, search=search)
+        if plan is None:
+            return None
+        ext.stats["pushdown_queries"] += 1
+        return MultiTaskSelectPlan(ext, plan)
+    if isinstance(stmt, (A.Update, A.Delete)):
+        tasks = plan_pushdown_dml(ext, stmt, params, analysis, search=search)
+        if tasks is None:
+            return None
+        ext.stats["pushdown_queries"] += 1
+        return MultiTaskDMLPlan(ext, tasks)
+    if search is not None:
+        search.reject("pushdown", "statement_kind",
+                      f"{type(stmt).__name__} has no multi-shard pushdown plan")
+    return None
+
+
+def _tier_join_order(ext, session, stmt, params, analysis, search):
+    if not isinstance(stmt, A.Select):
+        if search is not None:
+            search.reject("join_order", "statement_kind",
+                          "only SELECT joins can be repartitioned")
+        return None
+    from .join_order import plan_join_order
+
+    plan = plan_join_order(ext, stmt, params, analysis, search=search)
+    if plan is not None:
+        ext.stats["repartition_queries"] += 1
+    return plan
+
+
+#: The §3.5 cascade, lowest overhead first. plan_statement walks this list.
+CASCADE = (
+    PlannerTier("fast_path", _tier_fast_path),
+    PlannerTier("router", _tier_router),
+    PlannerTier("pushdown", _tier_pushdown),
+    PlannerTier("join_order", _tier_join_order),
+)
+
+
+def _disabled_tiers(ext) -> frozenset:
+    raw = ext.config.planner_disabled_tiers
+    if not raw:
+        return frozenset()
+    return frozenset(t.strip() for t in raw.split(",") if t.strip())
+
+
+def plan_statement(ext, session, stmt, params, search=None) -> CustomScanPlan:
     cache = ext.metadata.cache
 
     if isinstance(stmt, A.Insert):
-        if stmt.select is not None:
-            from ..insert_select import plan_insert_select
-
-            return plan_insert_select(ext, stmt, params)
-        dist = cache.tables.get(stmt.table)
-        if dist is not None and dist.is_reference:
-            return ReferenceDMLPlan(ext, stmt, params)
-        if dist is not None:
-            # Fast path for single-row inserts with explicit columns;
-            # the general plan handles multi-row / positional inserts.
-            tasks = try_fast_path(ext, stmt, params)
-            if tasks is not None:
-                ext.stats["fast_path_queries"] += 1
-                return SingleTaskPlan(ext, tasks, "Fast Path Router", is_write=True)
-            return InsertValuesPlan(ext, stmt, params)
+        plan = _pre_route_insert(ext, session, stmt, params, cache, search)
+        if plan is not None:
+            if search is not None:
+                record_chosen_plan(search, plan)
+            return plan
 
     analysis = analyze_statement(stmt, cache, params, ext.instance.catalog)
 
@@ -124,44 +225,62 @@ def plan_statement(ext, session, stmt, params) -> CustomScanPlan:
         if isinstance(stmt, (A.Update, A.Delete)) and cache.tables.get(
             getattr(stmt, "table", None)
         ):
-            return ReferenceDMLPlan(ext, stmt, params)
-        return LocalReferencePlan(ext, stmt, params)
+            plan = ReferenceDMLPlan(ext, stmt, params)
+        else:
+            plan = LocalReferencePlan(ext, stmt, params)
+        if search is not None:
+            record_chosen_plan(search, plan)
+        return plan
 
-    tasks = try_fast_path(ext, stmt, params)
-    if tasks is not None:
-        ext.stats["fast_path_queries"] += 1
-        return SingleTaskPlan(ext, tasks, "Fast Path Router",
-                              is_write=not isinstance(stmt, A.Select))
-
-    tasks = try_router(ext, stmt, params, analysis)
-    if tasks is not None:
-        ext.stats["router_queries"] += 1
-        return SingleTaskPlan(ext, tasks, "Router",
-                              is_write=not isinstance(stmt, A.Select))
+    disabled = _disabled_tiers(ext)
+    for tier in CASCADE:
+        if tier.name in disabled:
+            if search is not None:
+                search.reject(tier.name, "disabled",
+                              "tier disabled via citus.planner_disabled_tiers")
+            continue
+        plan = tier.try_fn(ext, session, stmt, params, analysis, search)
+        if plan is not None:
+            if search is not None:
+                record_chosen_plan(search, plan)
+            return plan
 
     if isinstance(stmt, A.Select):
-        plan = plan_pushdown_select(ext, stmt, params, analysis)
-        if plan is not None:
-            ext.stats["pushdown_queries"] += 1
-            return MultiTaskSelectPlan(ext, plan)
-        from .join_order import plan_join_order
-
-        jplan = plan_join_order(ext, stmt, params, analysis)
-        if jplan is not None:
-            ext.stats["repartition_queries"] += 1
-            return jplan
         raise UnsupportedDistributedQuery(
             "could not produce a distributed plan for this query shape"
         )
-
-    if isinstance(stmt, (A.Update, A.Delete)):
-        tasks = plan_pushdown_dml(ext, stmt, params, analysis)
-        if tasks is not None:
-            ext.stats["pushdown_queries"] += 1
-            return MultiTaskDMLPlan(ext, tasks)
     raise UnsupportedDistributedQuery(
         f"cannot plan {type(stmt).__name__} on distributed tables"
     )
+
+
+def _pre_route_insert(ext, session, stmt, params, cache, search):
+    """INSERT statements route before the cascade: INSERT..SELECT has its
+    own strategy choice, reference inserts replicate, and plain inserts
+    either take the fast path or the coordinator row-evaluation plan."""
+    if stmt.select is not None:
+        from ..insert_select import plan_insert_select
+
+        return plan_insert_select(ext, stmt, params)
+    dist = cache.tables.get(stmt.table)
+    if dist is None:
+        return None  # falls through to the reference/local analysis
+    if dist.is_reference:
+        return ReferenceDMLPlan(ext, stmt, params)
+    # Fast path for single-row inserts with explicit columns; the general
+    # plan handles multi-row / positional inserts.
+    if "fast_path" in _disabled_tiers(ext):
+        if search is not None:
+            search.reject("fast_path", "disabled",
+                          "tier disabled via citus.planner_disabled_tiers")
+        tasks = None
+    else:
+        tasks = try_fast_path(ext, stmt, params, search=search)
+    if tasks is not None:
+        ext.stats["fast_path_queries"] += 1
+        return SingleTaskPlan(ext, tasks, "Fast Path Router",
+                              tier="fast_path", is_write=True)
+    return InsertValuesPlan(ext, stmt, params)
 
 
 # ---------------------------------------------------------------- plans
@@ -174,6 +293,9 @@ class CitusPlan(CustomScanPlan):
     tier = "custom"
     #: True when this plan was replayed from the distributed plan cache.
     cached = False
+    #: The PlanSearch recorded while planning this statement (None when
+    #: citus.enable_plan_alternatives is off).
+    search = None
 
     def __init__(self, ext):
         self.ext = ext
@@ -188,8 +310,10 @@ class CitusPlan(CustomScanPlan):
 
     def explain_info(self) -> dict:
         """Structured plan description consumed by
-        :func:`repro.citus.observability.describe_plan`."""
-        return {"tier": self.tier, "planner": self.tier, "tasks": []}
+        :func:`repro.citus.observability.describe_plan`. ``tier`` is the
+        cascade tier; ``detail`` (optional) overrides the display label
+        when it carries more than the tier name."""
+        return {"tier": self.tier, "tasks": []}
 
     def explain_analyze_lines(self, session, stmt, params) -> list[str]:
         """EXPLAIN ANALYZE: execute under trace capture and render the
@@ -202,11 +326,11 @@ class CitusPlan(CustomScanPlan):
 class SingleTaskPlan(CitusPlan):
     """Fast path / router: the entire statement is one task."""
 
-    def __init__(self, ext, tasks, planner_name, is_write=False):
+    def __init__(self, ext, tasks, detail, tier, is_write=False):
         super().__init__(ext)
         self.tasks = tasks
-        self.detail = planner_name
-        self.tier = "fast_path" if planner_name == "Fast Path Router" else "router"
+        self.detail = detail
+        self.tier = tier
         self.is_write = is_write
 
     def execute(self, session, params):
@@ -226,7 +350,7 @@ class SingleTaskPlan(CitusPlan):
     def explain_info(self):
         return {
             "tier": self.tier,
-            "planner": self.detail,
+            "detail": self.detail,
             "tasks": self.tasks,
             "is_write": self.is_write,
             "pushed_down": ["FULL STATEMENT"],
@@ -272,7 +396,7 @@ class MultiTaskDMLPlan(CitusPlan):
     def explain_info(self):
         return {
             "tier": self.tier,
-            "planner": "Pushdown (DML)",
+            "detail": "Pushdown (DML)",
             "tasks": self.tasks,
             "is_write": True,
             "pushed_down": ["FULL STATEMENT"],
@@ -484,7 +608,7 @@ class MultiTaskSelectPlan(CitusPlan):
             merge_query = deparse(plan.master_query)
         return {
             "tier": self.tier,
-            "planner": "Pushdown" if plan.mode == "concat"
+            "detail": "Pushdown" if plan.mode == "concat"
             else "Pushdown (partial aggregation)",
             "tasks": plan.tasks,
             "total_shard_count": plan.total_shards or None,
@@ -568,7 +692,6 @@ class InsertValuesPlan(CitusPlan):
     def explain_info(self):
         return {
             "tier": self.tier,
-            "planner": "Insert (values)",
             "tasks": [],
             "task_count": len(self.stmt.rows),  # upper bound: one per row
             "total_shard_count": len(self.dist.shards),
@@ -625,7 +748,6 @@ class ReferenceDMLPlan(CitusPlan):
         ]
         return {
             "tier": self.tier,
-            "planner": "Reference Table DML",
             "tasks": tasks,
             "total_shard_count": 1,
             "pruned_shard_count": 0,
@@ -655,7 +777,6 @@ class LocalReferencePlan(CitusPlan):
     def explain_info(self):
         return {
             "tier": self.tier,
-            "planner": "Local (reference replica)",
             "tasks": [],
             "task_count": 0,
             "coordinator": ["FULL STATEMENT (local replica)"],

@@ -15,13 +15,17 @@ from ...sql import ast as A
 from .tasks import Task, rewrite_to_shard
 
 
-def try_fast_path(ext, stmt, params):
+def try_fast_path(ext, stmt, params, search=None):
     """Return a list with one Task, or None if the statement does not
-    qualify for the fast path."""
-    tasks = _try_fast_path(ext, stmt, params)
+    qualify for the fast path. A miss records its structured reason into
+    ``search`` when a PlanSearch is being kept."""
+    tasks, reason = _try_fast_path(ext, stmt, params)
     if tasks is None:
         # Cascade fall-through: the next (costlier) planner tier must run.
         ext.stat_counters.incr("planner_fast_path_misses")
+        if search is not None:
+            code, detail = reason or ("unknown", "")
+            search.reject("fast_path", code, detail)
     return tasks
 
 
@@ -37,7 +41,8 @@ def _try_fast_path(ext, stmt, params):
             or stmt.set_ops
             or stmt.group_by
         ):
-            return None
+            return None, ("shape", "needs a single-table FROM without"
+                          " CTEs, set operations, or GROUP BY")
         table_name = stmt.from_items[0].name
         alias = stmt.from_items[0].ref_name
         where = stmt.where
@@ -46,16 +51,17 @@ def _try_fast_path(ext, stmt, params):
         alias = stmt.alias or stmt.table
         where = stmt.where
     else:
-        return None
+        return None, ("statement_kind",
+                      f"{type(stmt).__name__} has no fast path")
 
     dist = cache.tables.get(table_name)
     if dist is None or dist.is_reference:
-        return None
+        return None, ("table", f"{table_name!r} is not a hash-distributed table")
     value = _single_dist_value(where, dist, alias, params)
     if value is _MISS:
-        return None
+        return None, ("no_dist_value", "no dist_column = constant filter")
     if _contains_subquery(stmt):
-        return None
+        return None, ("subquery", "statement contains a subquery")
     shard_index = dist.shard_index_for_value(value)
     shard = dist.shards[shard_index]
     node = cache.placement_node(shard.shardid)
@@ -64,7 +70,7 @@ def _try_fast_path(ext, stmt, params):
     return [
         Task(node, None, params, shard_group=(dist.colocation_id, shard_index),
              returns_rows=returns, stmt=shard_stmt)
-    ]
+    ], None
 
 
 _MISS = object()
@@ -73,12 +79,14 @@ _MISS = object()
 def _fast_path_insert(ext, stmt: A.Insert, params, cache):
     dist = cache.tables.get(stmt.table)
     if dist is None or dist.is_reference:
-        return None
+        return None, ("table", f"{stmt.table!r} is not a hash-distributed table")
     if stmt.select is not None or len(stmt.rows) != 1:
-        return None  # INSERT..SELECT and multi-row inserts take other paths
+        # INSERT..SELECT and multi-row inserts take other paths.
+        return None, ("shape", "INSERT..SELECT / multi-row insert")
     value = _insert_dist_value(stmt, dist, params, cache)
     if value is _MISS:
-        return None
+        return None, ("no_dist_value",
+                      "positional insert or unresolvable distribution value")
     shard_index = dist.shard_index_for_value(value)
     shard = dist.shards[shard_index]
     node = cache.placement_node(shard.shardid)
@@ -86,7 +94,7 @@ def _fast_path_insert(ext, stmt: A.Insert, params, cache):
     return [
         Task(node, None, params, shard_group=(dist.colocation_id, shard_index),
              returns_rows=bool(stmt.returning), stmt=shard_stmt)
-    ]
+    ], None
 
 
 def _insert_dist_value(stmt: A.Insert, dist, params, cache):

@@ -40,20 +40,37 @@ from .pushdown import plan_pushdown_select
 _intermediate_counter = itertools.count(1)
 
 
-def plan_join_order(ext, select: A.Select, params, analysis):
-    """Return a RepartitionPlan, or None when this planner does not apply."""
+def plan_join_order(ext, select: A.Select, params, analysis, search=None):
+    """Return a RepartitionPlan, or None when this planner does not apply.
+
+    Every costed strategy (repartition per join side, broadcast per side)
+    is kept on the returned plan's ``candidates`` list and — when a
+    PlanSearch is being recorded — fed into the pipeline as one chosen
+    candidate plus the losing alternatives."""
     if not isinstance(select, A.Select):
+        if search is not None:
+            search.reject("join_order", "statement_kind",
+                          "only SELECT joins can be repartitioned")
         return None
     dist = analysis.distributed
     if len(dist) != 2 or analysis.locals:
+        if search is not None:
+            search.reject("join_order", "shape",
+                          "repartition joins support exactly two distributed"
+                          " tables and no local tables")
         return None
     if select.ctes or select.set_ops or select.for_update:
+        if search is not None:
+            search.reject("join_order", "shape",
+                          "CTEs, set operations, and FOR UPDATE cannot be"
+                          " repartitioned")
         return None
     if not ext.config.enable_repartition_joins:
-        raise UnsupportedDistributedQuery(
-            "the query contains a non-co-located join and"
-            " citus.enable_repartition_joins is off"
-        )
+        message = ("the query contains a non-co-located join and"
+                   " citus.enable_repartition_joins is off")
+        if search is not None:
+            search.reject("join_order", "disabled", message)
+        raise UnsupportedDistributedQuery(message)
     a, b = dist
     candidates = []
     # Re-partition candidates: anchor joined on its own distribution column.
@@ -70,10 +87,46 @@ def plan_join_order(ext, select: A.Select, params, analysis):
             ("broadcast", anchor, moved, None,
              ext.table_size_estimate(moved.name) * n_nodes)
         )
+    # "Chooses the order that minimizes the network traffic" (§3.5): the
+    # move's network bytes decide; the per-task dispatch charge is the same
+    # for every strategy (one task per anchor shard) and only matters for
+    # the cross-tier cost reporting below.
     candidates.sort(key=lambda c: c[4])
     strategy, anchor, moved, join_col, cost = candidates[0]
     ext.stat_counters.incr(f"join_order_{strategy}")
-    return RepartitionPlan(ext, select, params, strategy, anchor, moved, join_col, cost)
+    costed = [_describe_candidate(ext, c) for c in candidates]
+    if search is not None:
+        chosen, *rest = costed
+        search.accept("join_order", f"Join Order ({strategy})",
+                      chosen["cost"], **_candidate_attrs(chosen))
+        for alt in rest:
+            search.alternative("join_order",
+                               f"Join Order ({alt['strategy']})",
+                               alt["cost"], **_candidate_attrs(alt))
+    return RepartitionPlan(ext, select, params, strategy, anchor, moved,
+                           join_col, cost, candidates=costed)
+
+
+def _describe_candidate(ext, candidate) -> dict:
+    from .pipeline import candidate_cost
+
+    strategy, anchor, moved, join_col, network_bytes = candidate
+    return {
+        "strategy": strategy,
+        "anchor_table": anchor.dist.name,
+        "moved_table": moved.name,
+        "join_column": join_col,
+        "network_bytes": int(network_bytes),
+        "cost": candidate_cost(len(anchor.dist.shards), network_bytes),
+    }
+
+
+def _candidate_attrs(described: dict) -> dict:
+    return {
+        "strategy": described["strategy"],
+        "moved_table": described["moved_table"],
+        "network_bytes": described["network_bytes"],
+    }
 
 
 def _join_column_on_dist_key(ext, analysis, anchor, moved):
@@ -93,8 +146,11 @@ class RepartitionPlan:
     """Executable plan: move one side, then push the join down."""
 
     tier = "join_order"
+    search = None
+    cached = False
 
-    def __init__(self, ext, select, params, strategy, anchor, moved, join_col, cost):
+    def __init__(self, ext, select, params, strategy, anchor, moved, join_col,
+                 cost, candidates=None):
         self.ext = ext
         self.select = select
         self.params = params
@@ -103,6 +159,11 @@ class RepartitionPlan:
         self.moved = moved
         self.join_col = join_col
         self.estimated_network_bytes = cost
+        self.candidates = candidates or []
+
+    @property
+    def detail(self):
+        return f"Join Order ({self.strategy})"
 
     # ------------------------------------------------------------ execute
 
@@ -178,12 +239,19 @@ class RepartitionPlan:
             created.append((node, table))
 
     def explain_lines(self):
-        return [
+        lines = [
             "Custom Scan (Citus Adaptive)",
             f"  Planner: Join Order ({self.strategy})",
             f"  Moved Table: {self.moved.name}",
             f"  Estimated Network Bytes: {int(self.estimated_network_bytes)}",
         ]
+        if self.candidates:
+            considered = " / ".join(
+                f"{c['strategy']}({c['moved_table']}) cost={int(c['cost'])}"
+                for c in self.candidates
+            )
+            lines.append(f"  Join strategy considered: {considered}")
+        return lines
 
     def explain_info(self):
         from .tasks import Task
@@ -199,7 +267,7 @@ class RepartitionPlan:
         ]
         return {
             "tier": self.tier,
-            "planner": f"Join Order ({self.strategy})",
+            "detail": f"Join Order ({self.strategy})",
             "tasks": tasks,
             "total_shard_count": len(self.anchor.dist.shards),
             "pruned_shard_count": 0,

@@ -174,6 +174,9 @@ class CachedPlanEntry:
     # shard_index -> shard-rewritten template AST (parameter markers only;
     # shared read-only across sessions)
     shard_stmts: dict = dc_field(default_factory=dict)
+    # PlanSearch recorded when the plan was first built; replayed (marked
+    # cached) on every hit so alternatives stay observable for hot statements
+    search: object = None
 
 
 class PlanCache:
@@ -214,6 +217,8 @@ class PlanCache:
             counters.incr("plan_cache_misses")
             return None
         plan.cached = True
+        if entry.search is not None and self.ext.config.enable_plan_alternatives:
+            plan.search = entry.search.replay_cached()
         if entry.stats_key:
             self.ext.stats[entry.stats_key] += 1
         counters.incr("plan_cache_hits")
@@ -231,6 +236,7 @@ class PlanCache:
         if existing is not None and existing.generation == generation:
             return
         entry = self._build_entry(template, plan, generation)
+        entry.search = getattr(plan, "search", None)
         self.entries.put(fingerprint, entry)
 
     def _build_entry(self, template, plan, generation) -> CachedPlanEntry:
@@ -238,7 +244,7 @@ class PlanCache:
                                   SingleTaskPlan)
 
         if isinstance(plan, SingleTaskPlan):
-            if plan.detail == "Fast Path Router":
+            if plan.tier == "fast_path":
                 if isinstance(template, A.Insert):
                     mode, table, alias = "insert", template.table, template.table
                 elif isinstance(template, A.Select):
@@ -316,7 +322,7 @@ class PlanCache:
             stmt=self._shard_stmt(entry, cache, shard_index),
         )
         return SingleTaskPlan(self.ext, [task], entry.detail,
-                              is_write=entry.is_write)
+                              tier=entry.tier, is_write=entry.is_write)
 
     def _replay_single(self, entry: CachedPlanEntry, bound):
         """Fast-path replay: only the distribution value is re-extracted."""

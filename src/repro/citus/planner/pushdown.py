@@ -57,39 +57,64 @@ class PushdownSelect:
     merge_strategy: str = "Concat (streaming)"
 
 
-def plan_pushdown_select(ext, select: A.Select, params, analysis: QueryAnalysis):
+def plan_pushdown_select(ext, select: A.Select, params, analysis: QueryAnalysis,
+                         search=None):
     """Build a PushdownSelect, or None when pushdown does not apply,
-    raising UnsupportedDistributedQuery for recognisably unsupported SQL."""
+    raising UnsupportedDistributedQuery for recognisably unsupported SQL.
+    Misses and raises record their structured reason into ``search``."""
+
+    def unsupported(code, message):
+        if search is not None:
+            search.reject("pushdown", code, message)
+        raise UnsupportedDistributedQuery(message)
+
     cache = ext.metadata.cache
     dist = analysis.distributed
     if not dist:
+        if search is not None:
+            search.reject("pushdown", "no_distributed_tables",
+                          "statement references no distributed tables")
         return None
     if analysis.locals:
-        raise UnsupportedDistributedQuery(
-            "joining local tables with distributed tables is not supported"
+        unsupported(
+            "local_tables",
+            "joining local tables with distributed tables is not supported",
         )
     if select.for_update:
-        raise UnsupportedDistributedQuery(
-            "SELECT FOR UPDATE on multiple shards is not supported"
+        unsupported(
+            "for_update",
+            "SELECT FOR UPDATE on multiple shards is not supported",
         )
     if select.set_ops:
-        raise UnsupportedDistributedQuery(
-            "set operations on distributed tables require a single shard (router)"
+        unsupported(
+            "set_ops",
+            "set operations on distributed tables require a single shard (router)",
         )
     if select.ctes:
-        raise UnsupportedDistributedQuery(
-            "CTEs over multiple shards are not supported in this reproduction"
+        unsupported(
+            "ctes",
+            "CTEs over multiple shards are not supported in this reproduction",
         )
     colocation_ids = {o.dist.colocation_id for o in dist}
     if len(colocation_ids) != 1 or not analysis.all_dist_columns_equal():
+        if search is not None:
+            search.reject("pushdown", "non_colocated_join",
+                          "tables are not co-located or not joined on their"
+                          " distribution columns")
         return None  # hand over to the join-order planner
     if analysis.inner_cross_shard_agg:
-        raise UnsupportedDistributedQuery(
+        unsupported(
+            "cross_shard_subquery_agg",
             "subqueries that aggregate across shards cannot be pushed down"
-            " (only the outermost aggregation is distributed)"
+            " (only the outermost aggregation is distributed)",
         )
 
-    _check_window_functions(select, analysis)
+    try:
+        _check_window_functions(select, analysis)
+    except UnsupportedDistributedQuery as exc:
+        if search is not None:
+            search.reject("pushdown", "window_functions", str(exc))
+        raise
     anchor = dist[0]
     shard_indexes = prune_shards(anchor.dist, select.where, params, anchor.alias)
     pruned = len(anchor.dist.shards) - len(shard_indexes)
@@ -693,15 +718,20 @@ def _stream_hashable(value):
 # ------------------------------------------------------------ DML pushdown
 
 
-def plan_pushdown_dml(ext, stmt, params, analysis) -> list[Task] | None:
+def plan_pushdown_dml(ext, stmt, params, analysis, search=None) -> list[Task] | None:
     """Multi-shard UPDATE/DELETE: one task per (pruned) shard."""
     dist_occurrences = analysis.distributed
     if len(dist_occurrences) != 1 or analysis.locals:
+        if search is not None:
+            search.reject("pushdown", "shape",
+                          "multi-shard DML supports exactly one distributed"
+                          " table and no local tables")
         return None
     if any(isinstance(n, A.SubqueryExpr) for n in A.walk(stmt)):
-        raise UnsupportedDistributedQuery(
-            "subqueries in multi-shard UPDATE/DELETE are not supported"
-        )
+        message = "subqueries in multi-shard UPDATE/DELETE are not supported"
+        if search is not None:
+            search.reject("pushdown", "subquery", message)
+        raise UnsupportedDistributedQuery(message)
     occ = dist_occurrences[0]
     cache = ext.metadata.cache
     shard_indexes = prune_shards(occ.dist, stmt.where, params, occ.alias)

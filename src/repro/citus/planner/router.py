@@ -17,12 +17,16 @@ from ..sharding import analyze_statement
 from .tasks import Task, rewrite_to_shard
 
 
-def try_router(ext, stmt, params, analysis=None):
-    """Return [Task] if the statement routes to a single shard group."""
-    tasks = _try_router(ext, stmt, params, analysis)
+def try_router(ext, stmt, params, analysis=None, search=None):
+    """Return [Task] if the statement routes to a single shard group. A
+    miss records its structured reason into ``search`` when given."""
+    tasks, reason = _try_router(ext, stmt, params, analysis)
     if tasks is None:
         # Cascade fall-through: the statement needs a multi-shard planner.
         ext.stat_counters.incr("planner_router_misses")
+        if search is not None:
+            code, detail = reason or ("unknown", "")
+            search.reject("router", code, detail)
     return tasks
 
 
@@ -32,15 +36,20 @@ def _try_router(ext, stmt, params, analysis=None):
         analysis = analyze_statement(stmt, cache, params, ext.instance.catalog)
     dist = analysis.distributed
     if not dist:
-        return None
+        return None, ("no_distributed_tables",
+                      "statement references no distributed tables")
     if analysis.locals:
-        return None  # local/distributed mix cannot be routed
+        return None, ("local_tables",
+                      "local/distributed table mix cannot be routed")
     colocation_ids = {o.dist.colocation_id for o in dist}
     if len(colocation_ids) != 1:
-        return None
+        return None, ("colocation",
+                      f"{len(colocation_ids)} colocation groups referenced")
     value, ok = analysis.common_constant()
     if not ok:
-        return None
+        return None, ("no_common_constant",
+                      "distribution columns are not all constrained to one"
+                      " constant")
     anchor = dist[0].dist
     shard_index = anchor.shard_index_for_value(value)
     node = cache.placement_node(anchor.shards[shard_index].shardid)
@@ -49,4 +58,4 @@ def _try_router(ext, stmt, params, analysis=None):
     return [
         Task(node, None, params, shard_group=(anchor.colocation_id, shard_index),
              returns_rows=returns, stmt=shard_stmt)
-    ]
+    ], None
