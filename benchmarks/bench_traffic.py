@@ -33,6 +33,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro import make_cluster  # noqa: E402
 from repro.workloads.traffic import (  # noqa: E402
     CounterRule,
+    RatioRule,
     TrafficConfig,
     default_slo_spec,
     run_traffic,
@@ -53,6 +54,19 @@ def slo_spec(flush_threshold: int):
         CounterRule(
             "gharchive copy channels bounded", "copy_channel_peak_rows",
             flush_threshold * SHARD_COUNT,
+        ),
+        # End-to-end validation of the TPC-C mix's ~7% cross-warehouse
+        # payment target, observed through the transaction co-access
+        # graph: payments are the mix's only explicit BEGIN..COMMIT
+        # blocks, so the block-transaction counters isolate them. The
+        # configured 0.07 loses the ~1/16 of cross-warehouse draws whose
+        # two warehouses hash to the same shard group, so the expected
+        # multi-group fraction is ≈ 0.065; bound it to [0.03, 0.12].
+        RatioRule(
+            "tpcc cross-warehouse txn fraction",
+            "txngraph_txns_block_multi_group",
+            ("txngraph_txns_block",),
+            max_ratio=0.12, min_ratio=0.03,
         ),
     ]
 
@@ -78,7 +92,18 @@ def traffic_config(quick: bool) -> TrafficConfig:
 def one_run(config: TrafficConfig) -> dict:
     citus = make_cluster(workers=4, shard_count=SHARD_COUNT, max_connections=4000)
     threshold = citus.coordinator_ext.config.copy_flush_threshold
-    return run_traffic(citus, config, slo_spec(threshold))
+    report = run_traffic(citus, config, slo_spec(threshold))
+    # Graph and window dumps ride inside the report, so the byte-for-byte
+    # determinism gate also covers the co-access graph and the window ring.
+    session = citus.coordinator_session("traffic_graph_dump")
+    try:
+        report["txn_graph"] = session.execute(
+            "SELECT citus_stat_txn_graph('json')").scalar()
+        report["windows"] = session.execute(
+            "SELECT citus_stat_windows()").scalar()
+    finally:
+        session.close()
+    return report
 
 
 def summarize(report: dict) -> str:

@@ -84,6 +84,10 @@ class AdaptiveExecutor:
         events: list | None = [] if tracer is not None else None
         base = self.ext.cluster.clock.now() if tracer is not None else 0.0
 
+        graph = self.ext.txn_graph
+        if graph is not None:
+            graph.statement_begin()
+
         node_elapsed = []
         try:
             with counters.track("executor_statements_in_flight"):
@@ -93,6 +97,12 @@ class AdaptiveExecutor:
                         results, need_txn_block, report, is_write, events,
                     )
                     node_elapsed.append(elapsed)
+        except BaseException:
+            # Failed (or parked-and-retried) statement: its accesses must
+            # not count toward the transaction's co-access set.
+            if graph is not None:
+                graph.discard_statement(session)
+            raise
         finally:
             if tracer is not None:
                 self._emit_task_spans(tracer, base, events, results)
@@ -103,6 +113,8 @@ class AdaptiveExecutor:
         session.stats["citus_tasks"] += len(tasks)
         session.stats["citus_connections"] += report.connections_opened
         self.last_report = report
+        if graph is not None:
+            graph.statement_done(session, report.elapsed)
         if not session.in_transaction and not need_txn_block:
             # Shard-group affinity only matters within a transaction; drop
             # it so cached connections don't accumulate stale pins.
@@ -276,6 +288,8 @@ class AdaptiveExecutor:
             assign_distributed_txn_ids(self.ext, session)
         if task.shard_group is not None:
             conn.accessed_groups.add(task.shard_group)
+        graph = self.ext.txn_graph
+        bytes_before = conn.bytes_transferred if graph is not None else 0
         before = conn.elapsed
         if task.copy_rows is not None:
             count = conn.copy_rows(task.copy_table, task.copy_rows, task.copy_columns)
@@ -298,6 +312,9 @@ class AdaptiveExecutor:
             "Net", "RemoteCopy" if task.copy_rows is not None else "RemoteExecute",
             cost, node=conn.node_name,
         )
+        if graph is not None:
+            graph.note_access(session, conn.node_name, task.shard_group,
+                              is_write, conn.bytes_transferred - bytes_before)
         return cost
 
 
@@ -403,6 +420,9 @@ class StreamingExecution:
                            if self.tracer is not None else 0.0)
         self._trace_events: dict[int, dict] = {}
         self._trace_connects: list[tuple] = []
+        self.graph = self.ext.txn_graph
+        if self.graph is not None:
+            self.graph.statement_begin()
         self.counters.incr("executor_statements")
         self.counters.gauge_incr("executor_statements_in_flight")
 
@@ -524,6 +544,11 @@ class StreamingExecution:
         self.session.wait_events.record("Net", "RemoteDispatch",
                                         conn.elapsed - before,
                                         node=conn.node_name)
+        if self.graph is not None:
+            # Read access recorded at dispatch (bytes accrue per fetch), so
+            # even a zero-row shard stream appears in the access set.
+            self.graph.note_access(self.session, conn.node_name,
+                                   task.shard_group, False, 0)
         if self.tracer is not None:
             self._trace_events[stream.index] = {
                 "node": conn.node_name,
@@ -570,6 +595,10 @@ class StreamingExecution:
         self.counters.incr("batches_fetched", node=conn.node_name)
         self.counters.incr("bytes_streamed", stream.cursor.last_payload,
                            node=conn.node_name)
+        if self.graph is not None:
+            self.graph.note_access(self.session, conn.node_name,
+                                   stream.task.shard_group, False,
+                                   stream.cursor.last_payload)
         return batch
 
     def _close_stream(self, stream: TaskStream) -> None:
@@ -694,6 +723,11 @@ class StreamingExecution:
             self.counters.gauge_max("rows_buffered_peak",
                                     report.rows_buffered_peak)
         self.executor.last_report = report
+        if self.graph is not None:
+            if any(stream.failed for stream in self.streams):
+                self.graph.discard_statement(self.session)
+            else:
+                self.graph.statement_done(self.session, report.elapsed)
         if not self.session.in_transaction and not self.need_txn_block:
             # Shard-group affinity only matters within a transaction; drop
             # it so cached connections don't accumulate stale pins.
@@ -749,6 +783,9 @@ class CopyChannelExecution:
         self.trace_base = (self.ext.cluster.clock.now()
                            if self.tracer is not None else 0.0)
         self._trace_connects: list[tuple] = []
+        self.graph = self.ext.txn_graph
+        if self.graph is not None:
+            self.graph.statement_begin()
         self.counters.incr("executor_statements")
         self.counters.gauge_incr("executor_statements_in_flight")
 
@@ -890,11 +927,15 @@ class CopyChannelExecution:
         self.counters.incr("copy_flushes", node=node)
         self.counters.incr("copy_rows_routed", len(rows), node=node)
         self.counters.incr("copy_bytes_streamed", nbytes, node=node)
+        if self.graph is not None:
+            self.graph.note_access(self.session, node, shard_group, True,
+                                   nbytes)
 
     def _channel_finished(self, channel: dict, failed: bool = False) -> None:
         if channel["done"]:
             return
         channel["done"] = True
+        channel["failed"] = failed
         node = channel["node"]
         self.counters.gauge_decr("tasks_in_flight", node=node)
         if failed:
@@ -978,6 +1019,14 @@ class CopyChannelExecution:
             self.counters.gauge_max("copy_channel_peak_rows",
                                     report.copy_channel_peak_rows)
         self.executor.last_report = report
+        if self.graph is not None:
+            # A failed flush aborts the whole write through the session's
+            # statement-failure path (abort_txn clears the collector); only
+            # a clean finish commits the statement's accesses.
+            if any(c.get("failed") for c in self._channels.values()):
+                self.graph.discard_statement(self.session)
+            else:
+                self.graph.statement_done(self.session, report.elapsed)
         return report
 
 

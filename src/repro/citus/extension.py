@@ -63,6 +63,12 @@ class CitusConfig:
     # Comma-separated cascade tiers to skip (fast_path,router,pushdown,
     # join_order) — a debugging/regression-gate lever, not a paper GUC.
     planner_disabled_tiers: str = ""
+    # Distributed-transaction co-access graph + time-windowed statistics
+    # (citus_stat_txn_graph / citus_stat_windows). Off detaches the graph
+    # entirely: the executor and 2PC paths then pay one attribute test.
+    enable_txn_graph: bool = True
+    stat_window_seconds: float = 60.0  # width of one window bucket
+    stat_window_buckets: int = 8  # ring retention (closed + current)
 
 
 class NamedArgument:
@@ -104,6 +110,9 @@ class CitusExtension:
         # attribute (not a property) so benchmarks can detach it entirely
         # for an uninstrumented baseline.
         self.tracer = None
+        # Cluster-shared co-access graph (citus.enable_txn_graph); None
+        # when disabled, so hot paths gate on a single attribute test.
+        self.txn_graph = None
         self.stats: Counter = Counter()
         # Ring buffer of PlanSearch records (citus.enable_plan_alternatives),
         # newest last; drained by citus_plan_alternatives().
@@ -290,6 +299,7 @@ def install_citus(instance, cluster, config: CitusConfig | None = None,
         ext.tracer = tracer
         instance.tracer = tracer
     _configure_introspection(ext)
+    _configure_txngraph(ext)
     _register_udfs(ext)
     instance.hooks.planner_hooks.append(make_planner_hook(ext))
     instance.hooks.utility_hooks.append(_make_utility_hook(ext))
@@ -325,6 +335,31 @@ def _configure_introspection(ext: CitusExtension) -> None:
     for instance in instances:
         instance.wait_registry = registry
         instance.tenant_stats = tenants
+
+
+def _configure_txngraph(ext: CitusExtension) -> None:
+    """Attach (or detach) the cluster-shared transaction co-access graph
+    on every node's extension. CitusConfig is shared cluster-wide, so one
+    reconfiguration covers every node; when ``citus.enable_txn_graph`` is
+    off every extension's ``txn_graph`` is None and the executor/2PC
+    capture points reduce to one attribute test."""
+    from .txngraph import txngraph_for
+
+    holder = ext.cluster if ext.cluster is not None else ext
+    if ext.config.enable_txn_graph:
+        clock = ext.cluster.clock if ext.cluster is not None else None
+        graph = txngraph_for(holder, clock, stats_for(holder))
+        graph.configure(ext.config.stat_window_seconds,
+                        ext.config.stat_window_buckets)
+    else:
+        graph = None
+    instances = (ext.cluster.nodes.values() if ext.cluster is not None
+                 else (ext.instance,))
+    for instance in instances:
+        node_ext = instance.extensions.get("citus")
+        if node_ext is not None:
+            node_ext.txn_graph = graph
+    ext.txn_graph = graph
 
 
 def view_rows(records, columns, sort_key=None) -> list[list]:
@@ -505,6 +540,9 @@ def _register_udfs(ext: CitusExtension) -> None:
             )
         if name == "enable_introspection":
             _configure_introspection(ext)
+        if name in ("enable_txn_graph", "stat_window_seconds",
+                    "stat_window_buckets"):
+            _configure_txngraph(ext)
         return value
 
     def alter_table_set_access_method(session, table_name, method):
@@ -598,17 +636,30 @@ def _register_udfs(ext: CitusExtension) -> None:
         _reset_tenants()
         return True
 
+    def _reset_graph():
+        if ext.txn_graph is not None:
+            ext.txn_graph.reset_graph()
+
+    def _reset_windows():
+        if ext.txn_graph is not None:
+            ext.txn_graph.reset_windows()
+
     def citus_stat_reset(session, mode="all"):
         """citus_stat_reset([mode]): one reset to rule them all.
 
         ``mode`` selects what to clear: 'counters' (cluster counters +
         wait-event totals), 'statements' (citus_stat_statements),
-        'tenants' (citus_stat_tenants), or 'all' (the default).
+        'tenants' (citus_stat_tenants), 'graph' (the lifetime
+        transaction co-access graph behind citus_stat_txn_graph),
+        'windows' (the time-bucket ring behind citus_stat_windows), or
+        'all' (the default — every scope above).
         """
-        if mode not in ("counters", "statements", "tenants", "all"):
+        if mode not in ("counters", "statements", "tenants", "graph",
+                        "windows", "all"):
             raise MetadataError(
                 f"unknown citus_stat_reset mode {mode!r} "
-                "(expected counters, statements, tenants, or all)"
+                "(expected counters, statements, tenants, graph, "
+                "windows, or all)"
             )
         if mode in ("counters", "all"):
             _reset_counters()
@@ -616,6 +667,10 @@ def _register_udfs(ext: CitusExtension) -> None:
             _reset_statements()
         if mode in ("tenants", "all"):
             _reset_tenants()
+        if mode in ("graph", "all"):
+            _reset_graph()
+        if mode in ("windows", "all"):
+            _reset_windows()
         return mode
 
     def citus_trace_export(session, *rest):
@@ -737,6 +792,50 @@ def _register_udfs(ext: CitusExtension) -> None:
              "total_query_time_ms", "total_wait_time_ms"),
         )
 
+    def citus_stat_txn_graph(session, *rest):
+        """The distributed-transaction co-access graph.
+
+        Default: per-edge rows [src, dst, txns, single_node, cross_node,
+        twopc, writes, bytes, recent_txns] sorted by (src, dst), where
+        src/dst are shard-group labels ("c<colocation>.s<index>"),
+        per-kind columns count how the folding transactions committed,
+        and recent_txns is the edge weight within the retained window
+        ring. Modes: 'vertices' → per-shard-group rows [shard, txns,
+        writes, bytes, tenants, top_tenants]; 'json' → sorted-key JSON
+        export with tenant-pair detail; 'dot' → GraphViz source."""
+        graph = ext.txn_graph
+        mode = rest[0] if rest else None
+        if graph is None:
+            return "{}" if mode == "json" else (
+                "graph citus_txn_graph {\n}" if mode == "dot" else [])
+        if mode == "json":
+            return graph.as_json()
+        if mode == "dot":
+            return graph.as_dot()
+        if mode == "vertices":
+            return view_rows(graph.vertex_records(), (
+                "shard", "txns", "writes", "bytes", "tenants",
+                "top_tenants",
+            ))
+        return view_rows(graph.edge_records(), (
+            "src", "dst", "txns", "single_node", "cross_node", "twopc",
+            "writes", "bytes", "recent_txns",
+        ))
+
+    def citus_stat_windows(session, *rest):
+        """Per-bucket rows of the time-window ring, oldest first —
+        [bucket, start_s, end_s, current, statements, p50_ms, p95_ms,
+        p99_ms, txns, txns_multi_group, txns_cross_node, txns_2pc,
+        edge_txns, counters], where counters is the sorted-key JSON of
+        every cluster counter delta accrued during the bucket."""
+        if ext.txn_graph is None:
+            return []
+        return view_rows(ext.txn_graph.window_records(), (
+            "bucket", "start_s", "end_s", "current", "statements",
+            "p50_ms", "p95_ms", "p99_ms", "txns", "txns_multi_group",
+            "txns_cross_node", "txns_2pc", "edge_txns", "counters",
+        ))
+
     def citus_metrics_snapshot(session, *rest):
         """All counters, gauges, wait-event totals, histograms, and
         per-node health in Prometheus text exposition format."""
@@ -780,6 +879,8 @@ def _register_udfs(ext: CitusExtension) -> None:
         "citus_lock_waits": citus_lock_waits,
         "get_rebalance_progress": get_rebalance_progress,
         "citus_stat_tenants": citus_stat_tenants,
+        "citus_stat_txn_graph": citus_stat_txn_graph,
+        "citus_stat_windows": citus_stat_windows,
         "citus_metrics_snapshot": citus_metrics_snapshot,
     }
     for name, fn in registry.items():

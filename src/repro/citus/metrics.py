@@ -125,6 +125,11 @@ def metrics_snapshot(ext) -> str:
         lines.append(f"{metric}_sum {_format_value(hist.sum)}")
         lines.append(f"{metric}_count {hist.count}")
 
+    # --- transaction co-access graph + window ring ---
+    graph = getattr(ext, "txn_graph", None)
+    if graph is not None:
+        lines.extend(graph.prometheus_lines(_format_value, _labels))
+
     # --- per-node health ---
     nodes = ({ext.instance.name: ext.instance} if ext.cluster is None
              else ext.cluster.nodes)

@@ -175,6 +175,16 @@ class DistributedExplain:
         if self.merge_query:
             lines.append(f"  ->  Merge Query (coordinator)")
             lines.append(f"        {self.merge_query}")
+        cross = (self.analyze or {}).get("cross_shard")
+        if cross:
+            lines.append(
+                f"  Cross-Shard: groups={cross.get('groups', 0)}"
+                f" nodes={cross.get('nodes', 0)}"
+                f" recent_multi_group_fraction="
+                f"{cross.get('recent_multi_group_fraction', 0.0):.4f}"
+                f" recent_cross_node_fraction="
+                f"{cross.get('recent_cross_node_fraction', 0.0):.4f}"
+            )
         if self.analyze is not None:
             total = self.analyze.get("total_ms")
             summary = f"Execution: rows={self.analyze.get('rows', 0)}"
@@ -323,6 +333,20 @@ def _merge_actual_suffix(merge: dict) -> str:
     return f"  ({' '.join(parts)})"
 
 
+def _annotate_cross_shard(ext, explained) -> None:
+    """Attach the co-access graph's view of a multi-shard DML statement:
+    how many shard groups/nodes this plan spans, and what fraction of
+    recent transactions (the window ring) went multi-group/cross-node."""
+    graph = getattr(ext, "txn_graph", None) if ext is not None else None
+    if graph is None or not explained.is_write or explained.task_count <= 1:
+        return
+    groups = {t.shard_group for t in explained.tasks
+              if t.shard_group is not None}
+    cross = {"groups": len(groups), "nodes": len(explained.nodes)}
+    cross.update(graph.cross_shard_summary())
+    explained.analyze["cross_shard"] = cross
+
+
 def run_explain_analyze(plan, session, stmt, params=None) -> list[str]:
     """Execute a distributed plan under a trace capture and render the
     EXPLAIN tree annotated with per-task and merge actuals.
@@ -346,6 +370,7 @@ def run_explain_analyze(plan, session, stmt, params=None) -> list[str]:
         result = plan.execute(session, params)
         rows = result.rowcount or len(result.rows)
         explained.analyze = {"rows": rows, "total_ms": None}
+        _annotate_cross_shard(ext, explained)
         return explained.as_text().splitlines()
     start = tracer.clock.now()
     with tracer.capture("explain_analyze") as root:
@@ -384,6 +409,7 @@ def run_explain_analyze(plan, session, stmt, params=None) -> list[str]:
         analyze["repartition"] = dict(route.attrs)
         analyze["repartition"]["time_ms"] = route.duration * 1000.0
     explained.analyze = analyze
+    _annotate_cross_shard(ext, explained)
     return explained.as_text().splitlines()
 
 

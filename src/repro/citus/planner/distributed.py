@@ -69,7 +69,8 @@ def make_planner_hook(ext):
         tracer = ext.tracer
         tracing = tracer is not None and tracer.active
         tenant = None
-        if tracing or ext.instance.tenant_stats is not None:
+        if (tracing or ext.instance.tenant_stats is not None
+                or ext.txn_graph is not None):
             # Tenant attribution works on the raw statement + params, so it
             # is identical on plan-cache hits and misses — the cached fast
             # path must still stamp the tenant id.

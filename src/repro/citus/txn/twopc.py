@@ -82,11 +82,17 @@ class TransactionCallbacks:
             return
         counters = self.ext.stat_counters
         tracer = self._tracer()
+        graph = self.ext.txn_graph
+        access = graph.access_of(session) if graph is not None else None
+        access_attrs = (access.summary()
+                        if access is not None and tracer is not None else {})
         if len(writers) == 1:
             # Single worker transaction: delegate, no 2PC needed (§3.7.1).
             conn = writers[0]
+            if access is not None:
+                access.onepc = True
             self._timed(session, tracer, conn, "commit.1pc", "Commit1PC",
-                        lambda: conn.execute("COMMIT"))
+                        lambda: conn.execute("COMMIT"), **access_attrs)
             conn.in_txn_block = False
             session.stats["citus_1pc_commits"] += 1
             counters.incr("onepc_commits", node=conn.node_name)
@@ -97,6 +103,8 @@ class TransactionCallbacks:
         self.ext.stats["2pc_count"] += 1
         session.stats["citus_2pc_commits"] += 1
         counters.incr("twopc_transactions")
+        if access is not None:
+            access.twopc = True
         participants = writers
         for conn in participants:
             gid = make_gid(self.ext.instance.name, session.backend_pid)
@@ -126,7 +134,8 @@ class TransactionCallbacks:
         for _conn, gid in prepared:
             self.ext.metadata.write_commit_record(session, gid)
         if tracer is not None:
-            tracer.event("2pc.commit_records", "2pc", records=len(prepared))
+            tracer.event("2pc.commit_records", "2pc", records=len(prepared),
+                         **access_attrs)
         session._citus_prepared = prepared  # handed to post-commit
 
     # ---------------------------------------------------------- post-commit
@@ -153,6 +162,12 @@ class TransactionCallbacks:
         pools = getattr(session, SessionPools.ATTR, None)
         if pools is not None:
             pools.end_transaction()
+        graph = self.ext.txn_graph
+        if graph is not None:
+            # The transaction is durably committed everywhere: fold its
+            # access set (collected across every statement and tagged
+            # 1PC/2PC by pre-commit) into the co-access graph.
+            graph.fold(session)
 
     # --------------------------------------------------------------- abort
 
@@ -181,6 +196,9 @@ class TransactionCallbacks:
                         lambda c=conn: _best_effort(c, "ROLLBACK"))
             conn.in_txn_block = False
         pools.end_transaction()
+        graph = self.ext.txn_graph
+        if graph is not None:
+            graph.abort_txn(session)
 
 
 def _best_effort(conn, sql: str) -> None:

@@ -1,0 +1,644 @@
+"""Distributed-transaction co-access graph + time-windowed statistics.
+
+The multi-tenant story (§2, §3.8) hinges on keeping transactions
+single-node; the substrate a co-location policy needs is an *observed*
+record of which shards transactions actually touch together. This module
+records, at distributed-transaction end (the 1PC and 2PC commit paths and
+the adaptive executor's autocommit statement end), the transaction's
+**access set** — (node, shard group, tenant distribution key, read/write
+role, bytes) — and folds it into a weighted co-access graph:
+
+- **vertex** = one co-located shard group, with lifetime txn/write/byte
+  totals and a per-tenant touch count;
+- **edge** = a pair of shard groups touched by the same transaction,
+  weighted by count and bytes and tagged by how the transaction committed
+  (``single_node`` / ``cross_node`` / ``twopc``).
+
+Layered over the graph and the shared counter registry are
+**time-bucketed windows**: a pg_stat_monitor-style ring of N fixed-width
+buckets stamped from the simulated clock. Each bucket carries the counter
+deltas accrued while it was current (diffed from a registry snapshot taken
+at bucket open), a latency histogram of executor statements that *ended*
+in it, and the co-access edges folded in it — so recent behavior is
+queryable separately from lifetime aggregates, and edge recency (the
+"recent" weight Lion-style policies want) falls out of the ring for free.
+
+Everything is driven by virtual time and deterministic insertion order, so
+two same-seed runs serialize byte-for-byte identical graph and window
+dumps.
+
+Cost model: the graph is attached to the extension as a plain attribute
+(``ext.txn_graph``), ``None`` when ``citus.enable_txn_graph`` is off, so
+the executor's hot path pays exactly one attribute load + ``is None`` test
+per capture point when disabled.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+
+from ..engine.stats import LogHistogram, StatsRegistry
+
+#: Transactions touching more shard groups than this skip pairwise edge
+#: folding (the vertex totals still update) — a 32-shard analytical scan
+#: would otherwise fold ~500 edges per statement.
+MAX_EDGE_FANOUT = 16
+
+#: Access-set attribute caps on trace spans (2PC commit paths).
+_SPAN_ATTR_CAP = 8
+
+
+def group_label(group) -> str:
+    """Render a shard group tuple ``(colocation_id, shard_index)`` as the
+    stable vertex name used in rows, JSON, DOT, and Prometheus labels."""
+    if group is None:
+        return "?"
+    return f"c{group[0]}.s{group[1]}"
+
+
+class TxnAccessSet:
+    """Per-session collector: the access set of the transaction in flight.
+
+    ``pending`` holds the statement currently executing (discarded
+    wholesale if the statement fails or parks); ``txn`` accumulates the
+    committed statements of an explicit transaction block. Keys are
+    ``(node, shard_group, tenant)``; values are ``[reads, writes, bytes]``.
+    """
+
+    __slots__ = ("pending", "txn", "explicit", "twopc", "onepc")
+
+    def __init__(self):
+        self.pending: dict = {}
+        self.txn: dict = {}
+        self.explicit = False
+        self.twopc = False
+        self.onepc = False
+
+    def commit_statement(self) -> None:
+        """The statement succeeded: move its accesses into the txn set."""
+        if not self.pending:
+            return
+        txn = self.txn
+        for key, entry in self.pending.items():
+            kept = txn.get(key)
+            if kept is None:
+                txn[key] = entry
+            else:
+                kept[0] += entry[0]
+                kept[1] += entry[1]
+                kept[2] += entry[2]
+        self.pending = {}
+
+    def discard_statement(self) -> None:
+        self.pending = {}
+
+    def reset(self) -> None:
+        self.pending = {}
+        self.txn = {}
+        self.explicit = False
+        self.twopc = False
+        self.onepc = False
+
+    # ------------------------------------------------------------ summary
+
+    def summary(self) -> dict:
+        """Access-set attributes for 2PC/1PC trace spans: distinct nodes,
+        shard groups, and tenants (sorted, capped)."""
+        nodes: set = set()
+        groups: set = set()
+        tenants: set = set()
+        for source in (self.txn, self.pending):
+            for node, group, tenant in source:
+                nodes.add(node)
+                if group is not None:
+                    groups.add(group)
+                if tenant is not None:
+                    tenants.add(str(tenant))
+        return {
+            "access_nodes": sorted(nodes)[:_SPAN_ATTR_CAP],
+            "access_groups": sorted(group_label(g) for g in groups)[:_SPAN_ATTR_CAP],
+            "access_tenants": sorted(tenants)[:_SPAN_ATTR_CAP],
+        }
+
+
+class _Bucket:
+    """One fixed-width window bucket.
+
+    While current, it holds a registry snapshot from its open; on close
+    the snapshot is diffed into ``counters`` and dropped. ``hist`` takes
+    one observation per executor statement that ended inside the bucket;
+    ``edges`` counts co-access edges folded inside it.
+    """
+
+    __slots__ = ("index", "statements", "hist", "edges", "txns",
+                 "multi_group", "cross_node", "twopc",
+                 "baseline", "counters", "closed")
+
+    def __init__(self, index: int, baseline=None):
+        self.index = index
+        self.statements = 0
+        self.hist = LogHistogram()
+        self.edges: Counter = Counter()
+        self.txns = 0
+        self.multi_group = 0
+        self.cross_node = 0
+        self.twopc = 0
+        self.baseline = baseline
+        self.counters: dict | None = None
+        self.closed = False
+
+
+class WindowRing:
+    """Ring of N fixed-duration buckets over the simulated clock.
+
+    Rollover is lazy: every recording or read calls :meth:`roll` with the
+    current virtual time, which closes the current bucket (materializing
+    its counter delta), back-fills empty buckets for idle gaps (bounded by
+    the ring size), and opens the bucket containing ``now``. A timestamp
+    exactly on a boundary belongs to the *later* bucket (``int(t / width)``).
+    Retention: only the newest N buckets (closed ring + current) survive.
+    """
+
+    def __init__(self, registry: StatsRegistry):
+        self.registry = registry
+        self.width = 0.0
+        self.nbuckets = 0
+        self.ring: deque = deque()
+        self.current: _Bucket | None = None
+
+    def configure(self, width: float, nbuckets: int) -> None:
+        width = float(width)
+        nbuckets = max(1, int(nbuckets))
+        if width == self.width and nbuckets == self.nbuckets:
+            return
+        self.width = width
+        self.nbuckets = nbuckets
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop all buckets; the current bucket reopens on the next roll
+        with a fresh counter baseline (reset-mid-bucket semantics)."""
+        self.ring = deque(maxlen=max(0, self.nbuckets - 1))
+        self.current = None
+
+    # ------------------------------------------------------------ rolling
+
+    def _close(self, bucket: _Bucket) -> None:
+        bucket.counters = self.registry.snapshot().diff(bucket.baseline).as_dict()
+        bucket.baseline = None
+        bucket.closed = True
+
+    def roll(self, now: float) -> _Bucket | None:
+        if self.width <= 0:
+            return None
+        index = int(now / self.width)
+        current = self.current
+        if current is not None and index <= current.index:
+            return current
+        if current is not None:
+            self._close(current)
+            self.ring.append(current)
+            # Idle gaps materialize as empty closed buckets so windows read
+            # as "nothing happened", not "time never passed". Bounded: only
+            # gaps that would still be inside the ring are created.
+            for i in range(max(current.index + 1, index - self.nbuckets + 1),
+                           index):
+                gap = _Bucket(i)
+                gap.counters = {}
+                gap.closed = True
+                self.ring.append(gap)
+        self.current = _Bucket(index, baseline=self.registry.snapshot())
+        return self.current
+
+    # ------------------------------------------------------------ reading
+
+    def buckets(self, now: float) -> list[_Bucket]:
+        """All retained buckets oldest-first, after rolling to ``now``."""
+        self.roll(now)
+        out = list(self.ring)
+        if self.current is not None:
+            out.append(self.current)
+        return out
+
+    def bucket_counters(self, bucket: _Bucket) -> dict:
+        if bucket.closed:
+            return bucket.counters or {}
+        return self.registry.snapshot().diff(bucket.baseline).as_dict()
+
+    def recent_edge_weights(self) -> Counter:
+        total: Counter = Counter()
+        for bucket in self.ring:
+            total.update(bucket.edges)
+        if self.current is not None:
+            total.update(self.current.edges)
+        return total
+
+    def recent_txn_totals(self) -> tuple[int, int, int]:
+        """(txns, multi_group, cross_node) summed over retained buckets."""
+        txns = multi = cross = 0
+        buckets = list(self.ring)
+        if self.current is not None:
+            buckets.append(self.current)
+        for b in buckets:
+            txns += b.txns
+            multi += b.multi_group
+            cross += b.cross_node
+        return txns, multi, cross
+
+
+class _EdgeStats:
+    __slots__ = ("txns", "writes", "bytes", "single_node", "cross_node",
+                 "twopc", "tenant_pairs")
+
+    def __init__(self):
+        self.txns = 0
+        self.writes = 0
+        self.bytes = 0
+        self.single_node = 0
+        self.cross_node = 0
+        self.twopc = 0
+        self.tenant_pairs: Counter = Counter()
+
+
+class _VertexStats:
+    __slots__ = ("txns", "writes", "bytes", "tenants")
+
+    def __init__(self):
+        self.txns = 0
+        self.writes = 0
+        self.bytes = 0
+        self.tenants: Counter = Counter()
+
+
+class TxnGraph:
+    """The cluster-shared co-access graph + window ring.
+
+    One instance per cluster (attached via :func:`txngraph_for`, like the
+    stats registry and tracer), reached from the executor and the 2PC
+    callbacks through ``ext.txn_graph`` — ``None`` when the GUC is off.
+    """
+
+    #: Session attribute holding the per-transaction access collector.
+    ATTR = "_citus_txn_access"
+
+    def __init__(self, clock, registry: StatsRegistry):
+        self.clock = clock
+        self.registry = registry
+        self.windows = WindowRing(registry)
+        self.edges: dict[tuple, _EdgeStats] = {}
+        self.vertices: dict[tuple, _VertexStats] = {}
+        self.wide_txns = 0
+
+    def configure(self, window_seconds: float, window_buckets: int) -> None:
+        self.windows.configure(window_seconds, window_buckets)
+
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    # ------------------------------------------------------------ capture
+
+    def access_of(self, session) -> TxnAccessSet | None:
+        return getattr(session, self.ATTR, None)
+
+    def note_access(self, session, node: str, group, is_write: bool,
+                    nbytes: int) -> None:
+        """Record one task/stream/flush touching a shard group. Called from
+        the executor's capture points only while the graph is enabled."""
+        acc = getattr(session, self.ATTR, None)
+        if acc is None:
+            acc = TxnAccessSet()
+            setattr(session, self.ATTR, acc)
+        if session.in_transaction:
+            acc.explicit = True
+        key = (node, group, getattr(session, "_citus_tenant", None))
+        entry = acc.pending.get(key)
+        if entry is None:
+            acc.pending[key] = [0 if is_write else 1, 1 if is_write else 0,
+                                nbytes]
+        else:
+            entry[1 if is_write else 0] += 1
+            entry[2] += nbytes
+
+    def statement_begin(self) -> None:
+        """Roll the window ring at statement start, so the statement's
+        counter increments accrue to the bucket containing its start."""
+        self.windows.roll(self._now())
+
+    def statement_done(self, session, elapsed: float) -> None:
+        """Executor statement end: observe its latency into the bucket
+        containing its end time, commit its accesses into the transaction
+        set, and — for autocommit statements that will never reach the
+        commit callbacks (no local xid, no registered worker transactions)
+        — fold the access set immediately."""
+        bucket = self.windows.roll(self._now())
+        if bucket is not None:
+            bucket.statements += 1
+            bucket.hist.observe(elapsed)
+        acc = getattr(session, self.ATTR, None)
+        if acc is None:
+            return
+        acc.commit_statement()
+        if (not session.in_transaction and not session.remote_txns
+                and session.xid is None):
+            self.fold(session)
+
+    def discard_statement(self, session) -> None:
+        acc = getattr(session, self.ATTR, None)
+        if acc is not None:
+            acc.discard_statement()
+
+    def abort_txn(self, session) -> None:
+        acc = getattr(session, self.ATTR, None)
+        if acc is None:
+            return
+        if acc.txn or acc.pending:
+            self.registry.incr("txngraph_txns_aborted")
+        acc.reset()
+
+    # --------------------------------------------------------------- fold
+
+    def fold(self, session) -> None:
+        """Transaction end: classify the collected access set, update the
+        lifetime graph and the current window bucket, bump the shared
+        counters, and clear the collector."""
+        acc = getattr(session, self.ATTR, None)
+        if acc is None:
+            return
+        acc.commit_statement()
+        entries = acc.txn
+        if not entries:
+            acc.reset()
+            return
+        nodes: set = set()
+        groups: dict[tuple, list] = {}  # group -> [writes, bytes, tenants set]
+        for (node, group, tenant), (reads, writes, nbytes) in entries.items():
+            nodes.add(node)
+            if group is None:
+                continue
+            info = groups.get(group)
+            if info is None:
+                info = groups[group] = [0, 0, set()]
+            info[0] += writes
+            info[1] += nbytes
+            if tenant is not None:
+                info[2].add(str(tenant))
+
+        twopc = acc.twopc
+        cross_node = len(nodes) > 1
+        multi_group = len(groups) > 1
+        explicit = acc.explicit
+        kind = "twopc" if twopc else ("cross_node" if cross_node
+                                      else "single_node")
+        registry = self.registry
+        registry.incr("txngraph_txns")
+        if multi_group:
+            registry.incr("txngraph_txns_multi_group")
+        if cross_node:
+            registry.incr("txngraph_txns_cross_node")
+        if twopc:
+            registry.incr("txngraph_txns_2pc")
+        if explicit:
+            registry.incr("txngraph_txns_block")
+            if multi_group:
+                registry.incr("txngraph_txns_block_multi_group")
+
+        bucket = self.windows.roll(self._now())
+        if bucket is not None:
+            bucket.txns += 1
+            if multi_group:
+                bucket.multi_group += 1
+            if cross_node:
+                bucket.cross_node += 1
+            if twopc:
+                bucket.twopc += 1
+
+        for group, (writes, nbytes, tenants) in groups.items():
+            vertex = self.vertices.get(group)
+            if vertex is None:
+                vertex = self.vertices[group] = _VertexStats()
+            vertex.txns += 1
+            if writes:
+                vertex.writes += 1
+            vertex.bytes += nbytes
+            for tenant in tenants:
+                vertex.tenants[tenant] += 1
+
+        if multi_group:
+            if len(groups) > MAX_EDGE_FANOUT:
+                # A very wide transaction (analytical fan-out) would fold
+                # O(groups²) edges; count it instead of quadratic folding.
+                self.wide_txns += 1
+                registry.incr("txngraph_wide_txns")
+            else:
+                ordered = sorted(groups)
+                for a_idx in range(len(ordered)):
+                    for b_idx in range(a_idx + 1, len(ordered)):
+                        a, b = ordered[a_idx], ordered[b_idx]
+                        key = (a, b)
+                        edge = self.edges.get(key)
+                        if edge is None:
+                            edge = self.edges[key] = _EdgeStats()
+                        edge.txns += 1
+                        info_a, info_b = groups[a], groups[b]
+                        if info_a[0] or info_b[0]:
+                            edge.writes += 1
+                        edge.bytes += info_a[1] + info_b[1]
+                        setattr(edge, kind, getattr(edge, kind) + 1)
+                        pair = (",".join(sorted(info_a[2])) or None,
+                                ",".join(sorted(info_b[2])) or None)
+                        if pair != (None, None):
+                            edge.tenant_pairs[pair] += 1
+                        if bucket is not None:
+                            bucket.edges[key] += 1
+        acc.reset()
+
+    # ------------------------------------------------------------ resets
+
+    def reset_graph(self) -> None:
+        """citus_stat_reset('graph'): clear the lifetime edge/vertex
+        aggregates. Window buckets and shared counters have their own
+        scopes ('windows' / 'counters')."""
+        self.edges.clear()
+        self.vertices.clear()
+        self.wide_txns = 0
+
+    def reset_windows(self) -> None:
+        """citus_stat_reset('windows'): drop every bucket; the current
+        bucket restarts at the next event with a fresh counter baseline."""
+        self.windows.reset()
+
+    # ------------------------------------------------------------ reading
+
+    def edge_records(self) -> list[dict]:
+        recent = self.windows.recent_edge_weights()
+        records = []
+        for (a, b) in sorted(self.edges):
+            edge = self.edges[(a, b)]
+            records.append({
+                "src": group_label(a),
+                "dst": group_label(b),
+                "txns": edge.txns,
+                "writes": edge.writes,
+                "bytes": edge.bytes,
+                "single_node": edge.single_node,
+                "cross_node": edge.cross_node,
+                "twopc": edge.twopc,
+                "recent_txns": recent.get((a, b), 0),
+            })
+        return records
+
+    def vertex_records(self) -> list[dict]:
+        records = []
+        for group in sorted(self.vertices):
+            vertex = self.vertices[group]
+            top = sorted(vertex.tenants.items(),
+                         key=lambda kv: (-kv[1], kv[0]))[:5]
+            records.append({
+                "shard": group_label(group),
+                "txns": vertex.txns,
+                "writes": vertex.writes,
+                "bytes": vertex.bytes,
+                "tenants": len(vertex.tenants),
+                "top_tenants": [t for t, _ in top],
+            })
+        return records
+
+    def as_json(self) -> str:
+        payload = {
+            "vertices": self.vertex_records(),
+            "edges": [
+                dict(record, tenant_pairs=[
+                    ["|".join(p or "" for p in pair), count]
+                    for pair, count in sorted(
+                        self.edges[key].tenant_pairs.items(),
+                        key=lambda kv: (-kv[1], kv[0]))[:5]
+                ])
+                for key, record in zip(sorted(self.edges),
+                                       self.edge_records())
+            ],
+            "wide_txns": self.wide_txns,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def as_dot(self) -> str:
+        """GraphViz dump: cross-node/2PC edges render dashed/bold so the
+        distributed-transaction hot pairs jump out."""
+        lines = ["graph citus_txn_graph {"]
+        for record in self.vertex_records():
+            lines.append(
+                f'  "{record["shard"]}" [label="{record["shard"]}'
+                f'\\ntxns={record["txns"]}"];'
+            )
+        for record in self.edge_records():
+            style = "solid"
+            if record["twopc"]:
+                style = "bold"
+            elif record["cross_node"]:
+                style = "dashed"
+            lines.append(
+                f'  "{record["src"]}" -- "{record["dst"]}"'
+                f' [label="{record["txns"]}", style={style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def window_records(self) -> list[dict]:
+        width = self.windows.width
+        records = []
+        buckets = self.windows.buckets(self._now())
+        for bucket in buckets:
+            counters = self.windows.bucket_counters(bucket)
+            hist = bucket.hist
+            records.append({
+                "bucket": bucket.index,
+                "start_s": bucket.index * width,
+                "end_s": (bucket.index + 1) * width,
+                "current": not bucket.closed,
+                "statements": bucket.statements,
+                "p50_ms": hist.percentile(50) * 1000.0,
+                "p95_ms": hist.percentile(95) * 1000.0,
+                "p99_ms": hist.percentile(99) * 1000.0,
+                "txns": bucket.txns,
+                "txns_multi_group": bucket.multi_group,
+                "txns_cross_node": bucket.cross_node,
+                "txns_2pc": bucket.twopc,
+                "edge_txns": sum(bucket.edges.values()),
+                "counters": json.dumps(counters, sort_keys=True),
+            })
+        return records
+
+    def cross_shard_summary(self) -> dict:
+        """Recent cross-shard behavior for EXPLAIN ANALYZE annotation."""
+        txns, multi, cross = self.windows.recent_txn_totals()
+        return {
+            "recent_txns": txns,
+            "recent_multi_group_fraction": round(multi / txns, 6) if txns else 0.0,
+            "recent_cross_node_fraction": round(cross / txns, 6) if txns else 0.0,
+        }
+
+    # --------------------------------------------------------- prometheus
+
+    def prometheus_lines(self, format_value, labels) -> list[str]:
+        """Graph/window metric families for ``citus_metrics_snapshot``.
+        Emitted in sorted-key order; ``format_value`` / ``labels`` are the
+        snapshot module's canonical formatters so escaping and float
+        rendering stay byte-identical with the rest of the scrape."""
+        lines = [
+            "# TYPE citus_txn_graph_edges gauge",
+            f"citus_txn_graph_edges {len(self.edges)}",
+            "# TYPE citus_txn_graph_vertices gauge",
+            f"citus_txn_graph_vertices {len(self.vertices)}",
+        ]
+        edge_txns, edge_bytes = [], []
+        for (a, b) in sorted(self.edges):
+            edge = self.edges[(a, b)]
+            lbl = labels(src=group_label(a), dst=group_label(b))
+            edge_txns.append(f"citus_txn_graph_edge_txns_total{lbl} {edge.txns}")
+            edge_bytes.append(
+                f"citus_txn_graph_edge_bytes_total{lbl} {edge.bytes}")
+        if edge_txns:
+            lines.append("# TYPE citus_txn_graph_edge_txns_total counter")
+            lines.extend(edge_txns)
+            lines.append("# TYPE citus_txn_graph_edge_bytes_total counter")
+            lines.extend(edge_bytes)
+        vertex_lines = []
+        for group in sorted(self.vertices):
+            lbl = labels(shard=group_label(group))
+            vertex_lines.append(
+                f"citus_txn_graph_vertex_txns_total{lbl}"
+                f" {self.vertices[group].txns}")
+        if vertex_lines:
+            lines.append("# TYPE citus_txn_graph_vertex_txns_total counter")
+            lines.extend(vertex_lines)
+        window_stmt, window_txns, window_p99 = [], [], []
+        for bucket in self.windows.buckets(self._now()):
+            lbl = labels(bucket=str(bucket.index))
+            window_stmt.append(
+                f"citus_txn_window_statements{lbl} {bucket.statements}")
+            window_txns.append(f"citus_txn_window_txns{lbl} {bucket.txns}")
+            window_p99.append(
+                f"citus_txn_window_statement_p99_seconds{lbl}"
+                f" {format_value(bucket.hist.percentile(99))}")
+        if window_stmt:
+            lines.append("# TYPE citus_txn_window_statements gauge")
+            lines.extend(window_stmt)
+            lines.append("# TYPE citus_txn_window_txns gauge")
+            lines.extend(window_txns)
+            lines.append("# TYPE citus_txn_window_statement_p99_seconds gauge")
+            lines.extend(window_p99)
+        return lines
+
+
+_HOLDER_ATTR = "_citus_txn_graph"
+
+
+def txngraph_for(holder, clock, registry: StatsRegistry) -> TxnGraph:
+    """The co-access graph attached to ``holder`` (the cluster), creating
+    it on first use — the same holder-attribute pattern as ``stats_for``
+    and ``trace_for``, so every node's extension folds into one graph."""
+    graph = getattr(holder, _HOLDER_ATTR, None)
+    if graph is None:
+        graph = TxnGraph(clock, registry)
+        setattr(holder, _HOLDER_ATTR, graph)
+    return graph

@@ -112,6 +112,10 @@ class RatioRule:
     numerator: str
     denominators: tuple  # counter names summed into the denominator
     max_ratio: float
+    #: Lower bound on the ratio. Non-zero turns the rule two-sided — e.g.
+    #: asserting the observed cross-node transaction fraction actually
+    #: lands near a workload's configured target, not just below a cap.
+    min_ratio: float = 0.0
 
     def evaluate(self, stat_rows, counters) -> dict:
         num = counters.get(self.numerator, 0)
@@ -124,7 +128,8 @@ class RatioRule:
             "denominator": den,
             "observed_ratio": round(ratio, 6),
             "threshold_ratio": self.max_ratio,
-            "passed": ratio <= self.max_ratio,
+            "min_ratio": self.min_ratio,
+            "passed": self.min_ratio <= ratio <= self.max_ratio,
         }
 
 
