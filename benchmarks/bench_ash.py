@@ -1,0 +1,232 @@
+"""Active Session History sampling overhead benchmark.
+
+Runs the router-transaction hot path (BEGIN / UPDATE / SELECT / COMMIT on
+a single distribution key, the same shape as ``bench_hotpath``'s
+``router_txn``) under three ASH modes on identical fresh clusters:
+
+- **detached** — the cluster is created with ``citus.enable_ash`` off, so
+  no sampler object ever exists and the clock has no observers (the
+  uninstrumented baseline);
+- **off** — ASH is enabled at install and then disabled through
+  ``citus_set_config``, exactly how a production operator would turn it
+  off: the clock observer must be detached, leaving every advance one
+  empty-list test away from the baseline;
+- **on** — full cluster-wide session sampling at an aggressive 10ms
+  virtual interval (the 1s default samples far less often; this gate
+  times the worst case where nearly every statement crosses a boundary).
+
+Tracing and the txn graph are detached in all modes so this isolates the
+sampler. CI gates, judged by the median of per-round throughput ratios
+against the detached baseline (modes timed back-to-back per round, GC
+parked):
+
+- ``off`` within 5% of detached (zero-cost-when-off);
+- ``on`` within 10% of detached.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ash.py [--quick]
+        [--out results.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import make_cluster  # noqa: E402
+from repro.citus.extension import CitusConfig  # noqa: E402
+
+#: Budgets (overridable for CI tuning, like TXNGRAPH_*_BUDGET).
+OFF_BUDGET = float(os.environ.get("ASH_OFF_BUDGET", "0.05"))
+ON_BUDGET = float(os.environ.get("ASH_ON_BUDGET", "0.10"))
+
+#: Virtual seconds between samples — deliberately far below the 1s
+#: default so the timed loop crosses a boundary every few statements.
+SAMPLING_INTERVAL = 0.01
+
+#: Independently allocated clusters per mode, rotated across rounds.
+_CLUSTERS_PER_MODE = 3
+
+_MODES = ("detached", "off", "on")
+
+
+def _setup(mode: str):
+    config = CitusConfig(
+        # Isolate the sampler: the co-access graph has its own gate
+        # (bench_txngraph) and would otherwise dominate the deltas.
+        enable_txn_graph=False,
+        ash_sampling_interval=SAMPLING_INTERVAL,
+    )
+    if mode == "detached":
+        config.enable_ash = False
+    cluster = make_cluster(workers=2, shard_count=8, max_connections=2000,
+                           config=config)
+    session = cluster.coordinator_session()
+    session.execute(
+        "CREATE TABLE accounts (key int PRIMARY KEY, v int, filler text)"
+    )
+    session.execute("SELECT create_distributed_table('accounts', 'key')")
+    session.copy_rows(
+        "accounts", [[k, 0, f"filler-{k}"] for k in range(1, 201)],
+        ["key", "v", "filler"],
+    )
+    # Detach tracing everywhere: bench_tracing covers span collection.
+    for ext in cluster.extensions.values():
+        ext.tracer = None
+    for node in cluster.cluster.nodes.values():
+        node.tracer = None
+    if mode == "off":
+        session.execute(
+            "SELECT citus_set_config('enable_ash', :v)", {"v": False}
+        )
+    elif mode not in ("on", "detached"):
+        raise ValueError(mode)
+    return cluster, session
+
+
+def _txn_loop(session, iterations: int) -> float:
+    """The router-transaction workload; returns statements/sec."""
+    update_sql = "UPDATE accounts SET v = v + :d WHERE key = :key"
+    select_sql = "SELECT v FROM accounts WHERE key = :key"
+    start = time.perf_counter()
+    for i in range(iterations):
+        key = (i % 200) + 1
+        session.execute("BEGIN")
+        session.execute(update_sql, {"d": 1, "key": key})
+        session.execute(select_sql, {"key": key})
+        session.execute("COMMIT")
+    return iterations * 4 / (time.perf_counter() - start)
+
+
+def _measure_rounds(setups, iterations, trials, rates) -> dict:
+    """Run ``trials`` interleaved rounds (rotating the cluster set, all
+    modes timed back-to-back in alternating order, GC parked); returns
+    per-round overhead ratios against the detached baseline, keyed by
+    instrumented mode, and appends per-mode rates into ``rates``."""
+    overheads = {"off": [], "on": []}
+    gc_was_enabled = gc.isenabled()
+    try:
+        for trial in range(trials):
+            order = _MODES if trial % 2 == 0 else _MODES[::-1]
+            pick = trial % _CLUSTERS_PER_MODE
+            rate = {}
+            for mode in order:
+                gc.collect()
+                gc.disable()
+                rate[mode] = _txn_loop(setups[mode][pick][1], iterations)
+                if gc_was_enabled:
+                    gc.enable()
+            for mode in ("off", "on"):
+                overheads[mode].append(1.0 - rate[mode] / rate["detached"])
+            for mode in _MODES:
+                rates[mode].append(rate[mode])
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return overheads
+
+
+def run(quick: bool = False) -> dict:
+    # Many short rounds beat few long ones (see bench_waitevents): the
+    # median of per-round ratios is what shrinks with the round count.
+    iterations = 200 if quick else 500
+    trials = 25 if quick else 31
+    setups = {mode: [_setup(mode) for _ in range(_CLUSTERS_PER_MODE)]
+              for mode in _MODES}
+    for mode in _MODES:
+        for setup in setups[mode]:
+            _txn_loop(setup[1], max(iterations // 5, 20))
+    rates = {mode: [] for mode in _MODES}
+    overheads = _measure_rounds(setups, iterations, trials, rates)
+    budgets = {"off": OFF_BUDGET, "on": ON_BUDGET}
+    medians = {mode: statistics.median(overheads[mode])
+               for mode in ("off", "on")}
+    confirmed = False
+    if any(medians[mode] > budgets[mode] for mode in medians):
+        print("over budget at "
+              + ", ".join(f"{m}={medians[m] * 100:+.2f}%" for m in medians)
+              + "; running confirmation pass")
+        extra = _measure_rounds(setups, iterations, trials, rates)
+        for mode in overheads:
+            overheads[mode] += extra[mode]
+        medians = {mode: statistics.median(overheads[mode])
+                   for mode in ("off", "on")}
+        confirmed = True
+    results = {}
+    for mode in _MODES:
+        best = max(rates[mode])
+        results[mode] = {"mode": mode, "stmts_per_sec": best}
+        print(f"{mode:>8}: {best:>10.1f} stmts/sec (best of {len(rates[mode])})")
+    for mode in ("off", "on"):
+        print(f"ash overhead ({mode} vs detached):"
+              f" {medians[mode] * 100:+6.2f}%"
+              f" (budget {budgets[mode] * 100:.0f}%)")
+    # Sanity: the sampling clusters really did sample (and the flamegraph
+    # reconciles with the ring), and the disabled ones really pay nothing.
+    for cluster, session in setups["on"]:
+        samples = session.execute("SELECT citus_ash()").scalar()
+        flamegraph = session.execute("SELECT citus_ash('flamegraph')").scalar()
+        if not samples:
+            raise AssertionError("sampling run recorded no ASH samples")
+        counted = sum(int(line.rsplit(" ", 1)[1])
+                      for line in flamegraph.splitlines())
+        if counted != len(samples):
+            raise AssertionError(
+                f"flamegraph counts ({counted}) != ring samples"
+                f" ({len(samples)})"
+            )
+    for mode in ("detached", "off"):
+        for cluster, _ in setups[mode]:
+            if cluster.coordinator_ext.ash is not None:
+                raise AssertionError(f"{mode} cluster still has a sampler")
+            if cluster.cluster.clock._observers:
+                raise AssertionError(
+                    f"{mode} cluster still has clock observers attached"
+                )
+    return {
+        "config": {"iterations": iterations, "trials": trials, "quick": quick,
+                   "sampling_interval": SAMPLING_INTERVAL},
+        "results": results,
+        "overhead": medians,
+        "round_overheads": overheads,
+        "budgets": budgets,
+        "confirmation_pass": confirmed,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--out", help="write results JSON to this path")
+    args = parser.parse_args(argv)
+
+    report = run(quick=args.quick)
+
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.out}")
+
+    failed = False
+    for mode, budget in report["budgets"].items():
+        if report["overhead"][mode] > budget:
+            print(f"FAIL: ash overhead ({mode}) exceeds {budget * 100:.0f}%")
+            failed = True
+    if failed:
+        return 1
+    print("OK: ash sampling overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

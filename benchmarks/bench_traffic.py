@@ -93,14 +93,21 @@ def one_run(config: TrafficConfig) -> dict:
     citus = make_cluster(workers=4, shard_count=SHARD_COUNT, max_connections=4000)
     threshold = citus.coordinator_ext.config.copy_flush_threshold
     report = run_traffic(citus, config, slo_spec(threshold))
-    # Graph and window dumps ride inside the report, so the byte-for-byte
-    # determinism gate also covers the co-access graph and the window ring.
+    # Graph, window, and ASH dumps ride inside the report, so the
+    # byte-for-byte determinism gate also covers the co-access graph, the
+    # window ring, and the Active Session History ring (same seed →
+    # identical citus_ash() output). The flamegraph carries every sample
+    # in aggregated form; the sample count pins the ring size too.
     session = citus.coordinator_session("traffic_graph_dump")
     try:
         report["txn_graph"] = session.execute(
             "SELECT citus_stat_txn_graph('json')").scalar()
         report["windows"] = session.execute(
             "SELECT citus_stat_windows()").scalar()
+        report["ash_flamegraph"] = session.execute(
+            "SELECT citus_ash('flamegraph')").scalar()
+        report["ash_samples"] = len(
+            session.execute("SELECT citus_ash()").scalar())
     finally:
         session.close()
     return report
@@ -133,6 +140,18 @@ def summarize(report: dict) -> str:
                              rule.get("threshold_ratio")))
         verdict = "PASS" if rule["passed"] else "FAIL"
         lines.append(f"  [{verdict}] {rule['rule']}: {observed} (≤ {threshold})")
+    ash = report.get("ash")
+    if ash is not None:
+        lines.append("")
+        lines.append(f"ASH diagnostics ({ash['samples']} samples in window):")
+        if ash.get("headline"):
+            lines.append(f"  {ash['headline']}")
+        for wait in ash["top_waits"]:
+            lines.append(
+                f"  {wait['wait_event_type']}.{wait['wait_event']}:"
+                f" {wait['samples']} samples ({wait['pct']}%),"
+                f" mostly {wait['top_node']}"
+            )
     return "\n".join(lines)
 
 
@@ -187,6 +206,16 @@ def main(argv=None) -> int:
     for gate, ok in result["gates"].items():
         print(f"gate {gate}: {'OK' if ok else 'FAIL'}")
     if not result["passed"]:
+        # Drop the collapsed-stack ASH profile next to the JSON report so
+        # CI can upload it as an artifact: the first question on an SLO
+        # breach is "what was the cluster waiting on", and this file is
+        # the answer in a form flamegraph.pl / speedscope render directly.
+        fg_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "results", "bench_traffic_flamegraph.txt")
+        os.makedirs(os.path.dirname(fg_path), exist_ok=True)
+        with open(fg_path, "w") as f:
+            f.write(result["report"].get("ash_flamegraph", "") + "\n")
+        print(f"wrote ASH flamegraph to {fg_path}")
         print("FAIL: traffic SLO gate")
         return 1
     print("OK: traffic SLOs met, run reproducible from seed")

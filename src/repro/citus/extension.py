@@ -69,6 +69,13 @@ class CitusConfig:
     enable_txn_graph: bool = True
     stat_window_seconds: float = 60.0  # width of one window bucket
     stat_window_buckets: int = 8  # ring retention (closed + current)
+    # Active Session History (citus_ash): a deterministic wait/state
+    # sampler driven by SimClock observers. Off detaches the observer, so
+    # every clock advance pays one empty-list test and capture surfaces
+    # one ``ext.ash is None`` attribute test.
+    enable_ash: bool = True
+    ash_sampling_interval: float = 1.0  # virtual seconds between samples
+    ash_buffer_size: int = 65536  # ring capacity, in session-samples
 
 
 class NamedArgument:
@@ -113,6 +120,9 @@ class CitusExtension:
         # Cluster-shared co-access graph (citus.enable_txn_graph); None
         # when disabled, so hot paths gate on a single attribute test.
         self.txn_graph = None
+        # Cluster-shared Active Session History sampler
+        # (citus.enable_ash); None when disabled.
+        self.ash = None
         self.stats: Counter = Counter()
         # Ring buffer of PlanSearch records (citus.enable_plan_alternatives),
         # newest last; drained by citus_plan_alternatives().
@@ -300,6 +310,7 @@ def install_citus(instance, cluster, config: CitusConfig | None = None,
         instance.tracer = tracer
     _configure_introspection(ext)
     _configure_txngraph(ext)
+    _configure_ash(ext)
     _register_udfs(ext)
     instance.hooks.planner_hooks.append(make_planner_hook(ext))
     instance.hooks.utility_hooks.append(_make_utility_hook(ext))
@@ -360,6 +371,40 @@ def _configure_txngraph(ext: CitusExtension) -> None:
         if node_ext is not None:
             node_ext.txn_graph = graph
     ext.txn_graph = graph
+
+
+def _configure_ash(ext: CitusExtension) -> None:
+    """Attach (or detach) the cluster-shared Active Session History
+    sampler. One sampler per cluster, hooked into the shared SimClock as
+    an observer; the config is shared cluster-wide so one reconfiguration
+    covers every node. When ``citus.enable_ash`` is off the observer is
+    detached (clock advances pay one empty-list test) and every node's
+    ``ext.ash`` is None — but the holder keeps the ring, so toggling the
+    GUC back on via citus_set_config resumes with history intact. A
+    single-node install (no cluster) has no shared clock to observe and
+    stays unsampled."""
+    from .ash import ash_for, holder_has_sampler
+
+    if ext.cluster is None:
+        ext.ash = None
+        return
+    holder = ext.cluster
+    sampler = None
+    if ext.config.enable_ash or holder_has_sampler(holder):
+        sampler = ash_for(holder, ext.cluster.clock, stats_for(holder))
+        sampler.configure(
+            enabled=ext.config.enable_ash,
+            interval=ext.config.ash_sampling_interval,
+            buffer_size=ext.config.ash_buffer_size,
+            ext=ext,
+        )
+        if not ext.config.enable_ash:
+            sampler = None
+    for instance in ext.cluster.nodes.values():
+        node_ext = instance.extensions.get("citus")
+        if node_ext is not None:
+            node_ext.ash = sampler
+    ext.ash = sampler
 
 
 def view_rows(records, columns, sort_key=None) -> list[list]:
@@ -543,6 +588,9 @@ def _register_udfs(ext: CitusExtension) -> None:
         if name in ("enable_txn_graph", "stat_window_seconds",
                     "stat_window_buckets"):
             _configure_txngraph(ext)
+        if name in ("enable_ash", "ash_sampling_interval",
+                    "ash_buffer_size"):
+            _configure_ash(ext)
         return value
 
     def alter_table_set_access_method(session, table_name, method):
@@ -644,6 +692,18 @@ def _register_udfs(ext: CitusExtension) -> None:
         if ext.txn_graph is not None:
             ext.txn_graph.reset_windows()
 
+    def _reset_ash():
+        # The ring survives on the holder while citus.enable_ash is off
+        # (so a re-enable resumes with history); a reset must clear it
+        # either way, without creating a sampler that never existed.
+        from .ash import _HOLDER_ATTR
+
+        sampler = ext.ash
+        if sampler is None and ext.cluster is not None:
+            sampler = getattr(ext.cluster, _HOLDER_ATTR, None)
+        if sampler is not None:
+            sampler.reset()
+
     def citus_stat_reset(session, mode="all"):
         """citus_stat_reset([mode]): one reset to rule them all.
 
@@ -651,15 +711,16 @@ def _register_udfs(ext: CitusExtension) -> None:
         wait-event totals), 'statements' (citus_stat_statements),
         'tenants' (citus_stat_tenants), 'graph' (the lifetime
         transaction co-access graph behind citus_stat_txn_graph),
-        'windows' (the time-bucket ring behind citus_stat_windows), or
-        'all' (the default — every scope above).
+        'windows' (the time-bucket ring behind citus_stat_windows),
+        'ash' (the Active Session History sample ring behind
+        citus_ash), or 'all' (the default — every scope above).
         """
         if mode not in ("counters", "statements", "tenants", "graph",
-                        "windows", "all"):
+                        "windows", "ash", "all"):
             raise MetadataError(
                 f"unknown citus_stat_reset mode {mode!r} "
                 "(expected counters, statements, tenants, graph, "
-                "windows, or all)"
+                "windows, ash, or all)"
             )
         if mode in ("counters", "all"):
             _reset_counters()
@@ -671,6 +732,8 @@ def _register_udfs(ext: CitusExtension) -> None:
             _reset_graph()
         if mode in ("windows", "all"):
             _reset_windows()
+        if mode in ("ash", "all"):
+            _reset_ash()
         return mode
 
     def citus_trace_export(session, *rest):
@@ -836,6 +899,73 @@ def _register_udfs(ext: CitusExtension) -> None:
             "txns_cross_node", "txns_2pc", "edge_txns", "counters",
         ))
 
+    def citus_ash(session, *rest):
+        """Active Session History: the deterministic wait/state sample
+        ring (citus.enable_ash / ash_sampling_interval / ash_buffer_size).
+
+        ``citus_ash([mode [, start [, end [, bucket]]]])`` — ``start`` /
+        ``end`` bound the virtual-time range (inclusive, both optional):
+
+        - default / 'samples': raw ring rows [sample_time, global_pid,
+          nodename, state, wait_event_type, wait_event, wait_stack,
+          query_fingerprint, citus_tier, tenant, distributed_txn_id];
+        - 'top_waits': [wait_event_type, wait_event, samples, pct,
+          top_node], busiest first;
+        - 'top_queries': [query_fingerprint, samples, pct, top_wait];
+        - 'top_tenants': [tenant, samples, pct];
+        - 'timeline': bucketed rows [bucket, start_s, end_s, samples,
+          active, idle, wait_classes] (``bucket`` seconds wide, default
+          10 sampling intervals);
+        - 'flamegraph': collapsed-stack text
+          (``node;wclass;event;...;fingerprint count`` lines) for
+          flamegraph.pl / speedscope.
+        """
+        sampler = ext.ash
+        positional, _named = split_named_args(rest)
+        mode = positional[0] if positional and positional[0] is not None \
+            else "samples"
+        if mode not in ("samples", "top_waits", "top_queries",
+                        "top_tenants", "timeline", "flamegraph"):
+            raise MetadataError(
+                f"unknown citus_ash mode {mode!r} (expected samples, "
+                "top_waits, top_queries, top_tenants, timeline, or "
+                "flamegraph)"
+            )
+        start = float(positional[1]) if len(positional) > 1 \
+            and positional[1] is not None else None
+        end = float(positional[2]) if len(positional) > 2 \
+            and positional[2] is not None else None
+        if sampler is None:
+            return "" if mode == "flamegraph" else []
+        if mode == "top_waits":
+            return view_rows(sampler.top_waits(start, end), (
+                "wait_event_type", "wait_event", "samples", "pct",
+                "top_node",
+            ))
+        if mode == "top_queries":
+            return view_rows(sampler.top_queries(start, end), (
+                "query_fingerprint", "samples", "pct", "top_wait",
+            ))
+        if mode == "top_tenants":
+            return view_rows(sampler.top_tenants(start, end), (
+                "tenant", "samples", "pct",
+            ))
+        if mode == "timeline":
+            bucket = float(positional[3]) if len(positional) > 3 \
+                and positional[3] is not None else None
+            return view_rows(sampler.timeline(start, end, bucket), (
+                "bucket", "start_s", "end_s", "samples", "active",
+                "idle", "wait_classes",
+            ))
+        if mode == "flamegraph":
+            return sampler.flamegraph(start, end)
+        return view_rows(sampler.raw_records(start, end), (
+            "sample_time", "global_pid", "nodename", "state",
+            "wait_event_type", "wait_event", "wait_stack",
+            "query_fingerprint", "citus_tier", "tenant",
+            "distributed_txn_id",
+        ))
+
     def citus_metrics_snapshot(session, *rest):
         """All counters, gauges, wait-event totals, histograms, and
         per-node health in Prometheus text exposition format."""
@@ -881,6 +1011,7 @@ def _register_udfs(ext: CitusExtension) -> None:
         "citus_stat_tenants": citus_stat_tenants,
         "citus_stat_txn_graph": citus_stat_txn_graph,
         "citus_stat_windows": citus_stat_windows,
+        "citus_ash": citus_ash,
         "citus_metrics_snapshot": citus_metrics_snapshot,
     }
     for name, fn in registry.items():

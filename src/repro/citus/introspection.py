@@ -99,9 +99,18 @@ def _statement_text(stmt) -> str | None:
         return f"<{type(stmt).__name__}>"
 
 
-def _statement_fingerprint(stmt) -> str | None:
+def _statement_fingerprint(stmt, session=None) -> str | None:
+    """Short stable digest of the statement's normalization template
+    (pg_stat_statements' queryid, in spirit). When ``session`` is given
+    the digest is memoized on it keyed by statement identity — the ASH
+    sampler fingerprints the same parked/last statement on every tick,
+    and renormalizing per sample would dominate sampling cost."""
     if stmt is None:
         return None
+    if session is not None:
+        cached = getattr(session, "_citus_fp_cache", None)
+        if cached is not None and cached[0] is stmt:
+            return cached[1]
     from .planner.plan_cache import _normalize_statement
 
     try:
@@ -110,12 +119,15 @@ def _statement_fingerprint(stmt) -> str | None:
         norm = None
     if norm is not None:
         # The raw normalization template is NUL-separated and long; the
-        # view shows a short stable digest of it (pg_stat_statements'
-        # queryid, in spirit).
+        # view shows a short stable digest of it.
         import hashlib
 
-        return hashlib.md5(norm[2].encode()).hexdigest()[:16]
-    return f"{type(stmt).__name__}:{getattr(stmt, 'table', '')}"
+        digest = hashlib.md5(norm[2].encode()).hexdigest()[:16]
+    else:
+        digest = f"{type(stmt).__name__}:{getattr(stmt, 'table', '')}"
+    if session is not None:
+        session._citus_fp_cache = (stmt, digest)
+    return digest
 
 
 def _cluster_instances(ext):
@@ -138,9 +150,12 @@ def _cluster_instances(ext):
             yield name, instance
 
 
-def activity_records(ext) -> list[dict]:
+def activity_records(ext, with_query: bool = True) -> list[dict]:
     """One record per open session across every alive node — the rows of
-    ``citus_dist_stat_activity``."""
+    ``citus_dist_stat_activity``. ``with_query=False`` skips the SQL
+    deparse (the ``query`` field is None) but keeps the fingerprint: the
+    ASH sampler snapshots through this path on every sampling tick and
+    only persists the digest."""
     records = []
     for name, instance in _cluster_instances(ext):
         now = instance.now()
@@ -161,8 +176,8 @@ def activity_records(ext) -> list[dict]:
                 "wait_event_type": wait.wclass if wait is not None else None,
                 "wait_event": wait.event if wait is not None else None,
                 "citus_tier": getattr(session, "_citus_tier", None),
-                "query": _statement_text(stmt),
-                "query_fingerprint": _statement_fingerprint(stmt),
+                "query": _statement_text(stmt) if with_query else None,
+                "query_fingerprint": _statement_fingerprint(stmt, session),
                 "elapsed_ms": elapsed * 1000.0,
                 "session": session,
             })

@@ -130,6 +130,11 @@ def metrics_snapshot(ext) -> str:
     if graph is not None:
         lines.extend(graph.prometheus_lines(_format_value, _labels))
 
+    # --- active session history ring ---
+    sampler = getattr(ext, "ash", None)
+    if sampler is not None:
+        lines.extend(sampler.prometheus_lines(_format_value, _labels))
+
     # --- per-node health ---
     nodes = ({ext.instance.name: ext.instance} if ext.cluster is None
              else ext.cluster.nodes)

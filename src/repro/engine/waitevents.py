@@ -104,6 +104,11 @@ class WaitEventStack:
     def depth(self) -> int:
         return len(self._stack)
 
+    def frames(self) -> tuple:
+        """The live waits bottom→top as an immutable snapshot — what the
+        ASH sampler captures (the full stack, not just :attr:`current`)."""
+        return tuple(self._stack)
+
     # --------------------------------------------------------- live waits
 
     def begin(self, wclass: str, event: str, detail=None) -> WaitEvent:
@@ -214,6 +219,24 @@ class WaitEventStack:
 #: is a small closed set, so this never grows past a few dozen entries —
 #: it exists to keep string formatting off the per-statement hot path.
 _COUNTER_NAMES: dict[tuple, tuple] = {}
+
+
+def wait_class_totals(counters: dict) -> dict[str, int]:
+    """Roll a flat counter mapping (``StatsSnapshot.as_dict()`` shape, or
+    any ``{counter_name: value}`` dict) up to per-wait-class sample counts:
+    ``{"Lock": 12, "Net": 40, ...}``.
+
+    Only ``wait_count:`` entries contribute; per-node duplicates
+    (``wait_count:Class.Event@node``) are skipped so a class is counted
+    once, from its cluster-wide total. Shared by the traffic harness
+    report and the ASH timeline mode.
+    """
+    out: dict[str, int] = {}
+    for name, value in counters.items():
+        if name.startswith(COUNT_PREFIX) and "@" not in name:
+            wclass = name[len(COUNT_PREFIX):].partition(".")[0]
+            out[wclass] = out.get(wclass, 0) + value
+    return out
 
 
 def wait_totals(registry) -> dict[tuple, dict]:

@@ -29,7 +29,7 @@ import random
 from dataclasses import dataclass, field
 
 from ...engine.stats import stats_for
-from ...engine.waitevents import COUNT_PREFIX
+from ...engine.waitevents import wait_class_totals
 from ...errors import ReproError, TooManyConnections
 from ...net.pool import ConnectionPool
 from .generators import ZipfGenerator, make_think
@@ -332,11 +332,7 @@ class TrafficHarness:
         rules = slo_rules if slo_rules is not None else default_slo_spec()
         slo = evaluate_slo(rules, stat_rows, counters)
         sim_seconds = self._sim_end - self._sim_start
-        wait_classes: dict[str, int] = {}
-        for name, value in counters.items():
-            if name.startswith(COUNT_PREFIX) and "@" not in name:
-                wclass = name[len(COUNT_PREFIX):].partition(".")[0]
-                wait_classes[wclass] = wait_classes.get(wclass, 0) + value
+        wait_classes = wait_class_totals(counters)
         onepc = counters.get("onepc_commits", 0)
         twopc = counters.get("twopc_transactions", 0)
         statements = [
@@ -350,7 +346,7 @@ class TrafficHarness:
             }
             for row in stat_rows[:20]
         ]
-        return {
+        report = {
             "config": self.config.as_dict(),
             "sim_seconds": round(sim_seconds, 6),
             "transactions": dict(self.totals),
@@ -379,6 +375,16 @@ class TrafficHarness:
             "statements": statements,
             "slo": slo,
         }
+        if not slo["passed"]:
+            # Turn "p99 breached" into "p99 breached while 62% of samples
+            # sat in TwoPC.CommitPrepared on w2": embed the ASH rollup for
+            # exactly the run window the failing rules were measured over.
+            sampler = getattr(self.citus.coordinator_ext, "ash", None)
+            if sampler is not None:
+                report["ash"] = sampler.slo_diagnostics(
+                    self._sim_start, self._sim_end
+                )
+        return report
 
 
 def run_traffic(citus, config: TrafficConfig | None = None, slo_rules=None) -> dict:

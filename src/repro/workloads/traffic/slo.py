@@ -134,10 +134,13 @@ class RatioRule:
 
 
 def evaluate_slo(rules, stat_rows, counters) -> dict:
-    """Evaluate every rule; the report passes only if all rules pass."""
+    """Evaluate every rule; the report passes only if all rules pass.
+    ``failed_rules`` names the offenders so callers (the harness report,
+    CI logs) can headline the failure without re-scanning ``rules``."""
     results = [rule.evaluate(stat_rows, counters) for rule in rules]
     return {
         "passed": all(r["passed"] for r in results),
+        "failed_rules": [r["rule"] for r in results if not r["passed"]],
         "rules": results,
     }
 
